@@ -1,0 +1,60 @@
+"""Ablation — what does *not knowing M* cost the defense?
+
+The paper's planners assume the persistent-bot count is known; Section V
+supplies the MLE that makes the system deployable.  This ablation runs the
+same attack with (a) an oracle that knows the true count, (b) the exact
+occupancy MLE, and (c) the closed-form moment estimator — and measures the
+shuffle premium paid for estimation.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.tables import render_table
+from repro.sim.shuffle_sim import ShuffleScenario, run_scenario
+
+SCENARIO = dict(
+    benign=2_000,
+    bots=500,
+    n_replicas=100,
+    target_fraction=0.8,
+    preload_bots=True,
+    max_rounds=2_000,
+)
+
+
+def test_ablation_estimators(benchmark, show, repetitions):
+    def sweep():
+        return {
+            estimator: run_scenario(
+                ShuffleScenario(estimator=estimator, **SCENARIO),
+                repetitions=max(repetitions, 3),
+                seed=13,
+            )
+            for estimator in ("oracle", "mle", "moment")
+        }
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    show(render_table(
+        [
+            {
+                "estimator": estimator,
+                "shuffles": result.shuffles.format(1),
+                "saved fraction": result.saved_fraction.format(3),
+            }
+            for estimator, result in results.items()
+        ],
+        title=(
+            "Ablation — shuffles to the 80% target by bot-count knowledge "
+            "(2K benign, 500 preloaded bots, 100 replicas)"
+        ),
+    ))
+    oracle = results["oracle"].mean_shuffles
+    for estimator in ("mle", "moment"):
+        measured = results[estimator].mean_shuffles
+        # Estimation is not free in this bot-heavy, small-pool regime:
+        # most rounds see nearly every replica attacked, so the estimate
+        # is frequently degenerate and the planner over-provisions the
+        # quarantine bucket.  The measured premium is ~70% over the
+        # oracle; the defense still converges every run.
+        assert measured <= 2.5 * oracle
+        assert all(run.reached_target for run in results[estimator].runs)

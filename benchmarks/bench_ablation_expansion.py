@@ -1,0 +1,68 @@
+"""Ablation — shuffling vs. pure server expansion (the intro's claim).
+
+"The proposed shuffling-based moving target mechanism enables effective
+attack containment using fewer resources than attack dilution strategies
+using pure server expansion."
+
+We solve the expansion baseline exactly (replicas needed so the even
+spread protects the same benign fraction), price both strategies with the
+same cost model, and assert the resource gap at the paper's headline
+scale.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.cost import compare_costs
+from repro.core.expansion import ExpansionPlan
+from repro.experiments.tables import render_table
+
+
+def test_ablation_shuffling_vs_expansion(benchmark, show):
+    def solve():
+        rows = []
+        for benign, bots, shuffles in (
+            (10_000, 20_000, 40),
+            (50_000, 100_000, 67),
+        ):
+            shuffling, expansion = compare_costs(
+                benign=benign,
+                bots=bots,
+                target_fraction=0.8,
+                shuffles_needed=shuffles,
+                n_replicas=1000,
+            )
+            rows.append((benign, bots, shuffling, expansion))
+        return rows
+
+    rows = benchmark.pedantic(solve, rounds=1, iterations=1)
+    show(render_table(
+        [
+            {
+                "benign": benign,
+                "bots": bots,
+                "strategy": cost.strategy,
+                "peak instances": cost.peak_instances,
+                "instance-hours": cost.instance_hours,
+                "launches": cost.launches,
+                "dollars": cost.dollars,
+            }
+            for benign, bots, shuffling, expansion in rows
+            for cost in (shuffling, expansion)
+        ],
+        title=(
+            "Ablation — shuffling vs pure expansion at the same 80% "
+            "protection target (paper intro claim)"
+        ),
+    ))
+    for _, bots, shuffling, expansion in rows:
+        assert expansion.peak_instances > 10 * shuffling.peak_instances
+        assert expansion.instance_hours > 10 * shuffling.instance_hours
+        assert expansion.dollars > shuffling.dollars
+
+
+def test_expansion_replica_requirement_kernel(benchmark):
+    """Cost of solving the expansion sizing problem itself."""
+    plan = benchmark(
+        ExpansionPlan.solve, 150_000, 100_000, 0.8
+    )
+    assert plan.replicas_needed > 100_000

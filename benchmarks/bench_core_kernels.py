@@ -1,0 +1,63 @@
+"""Microbenchmarks of the computational kernels.
+
+Not a paper figure — these guard the performance properties the rest of
+the harness depends on: planning and estimation must stay far below the
+few-seconds-per-shuffle budget (Figure 12) even at the largest simulated
+populations, or the "runtime algorithm" premise of Section IV-C breaks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.combinatorics import expected_saved_single_many
+from repro.core.dp_fast import dp_fast_value
+from repro.core.estimator import estimate_bots_moment, occupancy_pmf
+from repro.core.objective import single_replica_optimum
+
+
+def test_kernel_objective_scan_150k(benchmark):
+    """f(x) over every x at the Figure 8 population."""
+    xs = np.arange(1, 150_001, dtype=np.int64)
+    result = benchmark(expected_saved_single_many, 150_000, 100_000, xs)
+    assert result.size == 150_000
+    assert benchmark.stats["mean"] < 0.1
+
+
+def test_kernel_single_replica_optimum(benchmark):
+    omega, value = benchmark(single_replica_optimum, 150_000, 100_000)
+    assert 1 <= omega <= 5
+    assert benchmark.stats["mean"] < 0.1
+
+
+def test_kernel_dp_fast_paper_scale(benchmark):
+    """Optimal plan value at Figure 3's largest cell."""
+    value = benchmark.pedantic(
+        dp_fast_value, args=(1000, 500, 200), rounds=3, iterations=1
+    )
+    assert value > 0
+    assert benchmark.stats["mean"] < 2.0
+
+
+def test_kernel_occupancy_pmf(benchmark):
+    pmf = benchmark(occupancy_pmf, 500, 100)
+    assert pmf.sum() == np.float64(1.0) or abs(pmf.sum() - 1.0) < 1e-9
+
+
+def test_kernel_moment_estimator(benchmark):
+    estimate = benchmark(estimate_bots_moment, 700, 1000, 150_000)
+    assert estimate.m_hat > 0
+    assert benchmark.stats["mean"] < 1e-3
+
+
+def test_kernel_hypergeometric_sampling(benchmark):
+    """One round's bot-placement draw at headline scale."""
+    rng = np.random.default_rng(1)
+    sizes = np.full(1000, 150, dtype=np.int64)
+
+    def draw():
+        return rng.multivariate_hypergeometric(sizes, 100_000)
+
+    bots = benchmark(draw)
+    assert bots.sum() == 100_000
+    assert benchmark.stats["mean"] < 0.1

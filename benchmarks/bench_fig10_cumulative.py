@@ -1,0 +1,33 @@
+"""Figure 10 benchmark — cumulative saved fraction vs shuffle count.
+
+Asserts the figure's diminishing-returns shape: early shuffles save far
+more benign clients than later ones (each successive saved-fraction
+checkpoint costs more shuffles than the previous), for both benign
+populations.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig10 import render_fig10, run_fig10
+
+
+def test_fig10_cumulative_saving(benchmark, show, repetitions):
+    curves = benchmark.pedantic(
+        run_fig10,
+        kwargs={"repetitions": repetitions},
+        rounds=1,
+        iterations=1,
+    )
+    show(render_fig10(curves))
+    assert len(curves) == 2
+    for curve in curves:
+        means = [summary.mean for summary in curve.shuffles]
+        # Reaching a higher fraction always needs at least as many shuffles.
+        assert means == sorted(means)
+        marginal = curve.marginal_costs()
+        # Diminishing returns: the final 95% step costs more shuffles than
+        # the first 10-20% step (the paper's "early shuffles separate more
+        # benign clients" observation).
+        assert marginal[-1] > marginal[0]
+        # And the gap is large: the last decile costs >= 3x the first.
+        assert marginal[-1] >= 3 * max(marginal[0], 0.34)

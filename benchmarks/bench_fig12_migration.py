@@ -1,0 +1,39 @@
+"""Figure 12 benchmark — client migration time between two replicas.
+
+Regenerates the prototype measurement (10..60 concurrent clients, 246 KB
+page, 15 repetitions, 95% CIs) on the calibrated emulation and asserts the
+paper's reported envelope: all 60 clients migrate in under 5 seconds, the
+per-client mean stays in the 1-2.5 s band, and the total grows much faster
+with the client count than the mean (serialized single-threaded pushes).
+"""
+
+from __future__ import annotations
+
+from repro.cloudsim.migration import MigrationModel
+from repro.experiments.fig12 import render_fig12, run_fig12
+
+
+def test_fig12_migration_time(benchmark, show):
+    rows = benchmark.pedantic(run_fig12, rounds=1, iterations=1)
+    show(render_fig12(rows))
+    totals = [row.total_time.mean for row in rows]
+    per_client = [row.per_client.mean for row in rows]
+    # Both curves rise with the client count.
+    assert totals == sorted(totals)
+    assert all(b >= a - 0.05 for a, b in zip(per_client, per_client[1:]))
+    # Paper's envelope at 60 clients.
+    assert totals[-1] < 5.0
+    assert 1.0 <= per_client[-1] <= 2.5
+    # The total grows faster than the mean (serialization effect).
+    total_growth = totals[-1] / totals[0]
+    mean_growth = per_client[-1] / per_client[0]
+    assert total_growth > mean_growth
+
+
+def test_fig12_single_migration_kernel(benchmark, rng_seed=0):
+    """Raw cost of simulating one 60-client migration."""
+    import numpy as np
+
+    model = MigrationModel()
+    rng = np.random.default_rng(rng_seed)
+    benchmark(model.simulate_once, 60, rng)

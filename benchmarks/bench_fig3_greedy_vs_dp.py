@@ -1,0 +1,23 @@
+"""Figure 3 benchmark — greedy vs optimal DP, one shuffle, 1000 clients.
+
+Regenerates every (P, M) cell of the paper's Figure 3 and asserts its
+claim: the greedy curves and the optimal curves overlap (worst gap below
+one percentage point of the benign population).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig3 import render_fig3, run_fig3
+
+
+def test_fig3_greedy_vs_dp(benchmark, show):
+    rows = benchmark(run_fig3)
+    show(render_fig3(rows))
+    # Paper claim: "the curves denoting respective algorithms almost
+    # overlap in all cases".
+    worst_gap = max(row.gap for row in rows)
+    assert worst_gap <= 0.01
+    # Sanity: both axes behave (more replicas help, more bots hurt).
+    by_cell = {(r.n_replicas, r.n_bots): r.optimal_saved for r in rows}
+    assert by_cell[(200, 50)] > by_cell[(50, 50)]
+    assert by_cell[(100, 50)] > by_cell[(100, 500)]

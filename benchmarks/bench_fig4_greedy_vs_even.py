@@ -1,0 +1,25 @@
+"""Figure 4 benchmark — greedy vs naive even distribution.
+
+Regenerates the paper's Figure 4 grid and asserts the crossover claim:
+even distribution is competitive only while bots are fewer than replicas
+and collapses once they clearly outnumber them.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig4 import render_fig4, run_fig4
+
+
+def test_fig4_greedy_vs_even(benchmark, show):
+    rows = benchmark(run_fig4)
+    show(render_fig4(rows))
+    for row in rows:
+        # Greedy dominates the baseline everywhere (the paper's curves).
+        assert row.greedy_saved >= row.even_saved - 1e-9
+        if row.n_bots <= row.n_replicas // 2:
+            # Below the crossover the two are close...
+            assert row.even_fraction > 0.8 * row.greedy_fraction
+        if row.n_bots >= 3 * row.n_replicas:
+            # ...far beyond it the naive strategy saves almost nobody.
+            assert row.even_fraction < 0.05
+            assert row.greedy_fraction > 2 * row.even_fraction

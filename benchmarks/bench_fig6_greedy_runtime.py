@@ -1,0 +1,26 @@
+"""Figure 6 benchmark — running time of the greedy algorithm.
+
+The paper reports 1-4 ms per plan at N = 1000 in Matlab; the claim that
+matters is that the greedy planner is fast enough to drive *live* shuffling
+decisions.  The benchmark times the planner at the paper's scale and at the
+simulation scale (150K clients) and asserts the millisecond regime.
+"""
+
+from __future__ import annotations
+
+from repro.core.greedy import greedy_sizes
+from repro.experiments.fig6 import render_fig6, run_fig6
+
+
+def test_fig6_greedy_runtime_paper_scale(benchmark, show):
+    benchmark(greedy_sizes, 1000, 300, 200)
+    show(render_fig6(run_fig6(repeats=3)))
+    stats = benchmark.stats["mean"]
+    assert stats < 0.05  # well inside interactive territory
+
+
+def test_fig6_greedy_runtime_headline_scale(benchmark):
+    """Even at the Figure 8 population (150K clients) a plan is fast."""
+    sizes = benchmark(greedy_sizes, 150_000, 100_000, 1000)
+    assert sum(sizes) == 150_000
+    assert benchmark.stats["mean"] < 1.0

@@ -1,0 +1,29 @@
+"""Figure 7 benchmark — MLE attack-scale estimation accuracy.
+
+Regenerates the paper's Figure 7 (10,000 clients, 100 shuffling replicas,
+real bot counts up to 350, repeated runs with 99% CIs) and asserts both of
+its regimes: accurate estimates while bot-free replicas remain, and the
+blow-up to the upper bound once (nearly) every replica is attacked.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fig7 import render_fig7, run_fig7
+
+
+def test_fig7_mle_accuracy(benchmark, show, repetitions):
+    repeats = max(10, repetitions * 4)  # cheap enough to run many
+    rows = benchmark.pedantic(
+        run_fig7, kwargs={"repeats": repeats}, rounds=1, iterations=1
+    )
+    show(render_fig7(rows))
+    for row in rows:
+        if row.attacked_fraction.mean < 0.9:
+            # Informative regime: the estimate tracks the truth.
+            assert abs(row.relative_error) < 0.35
+        if row.attacked_fraction.mean > 0.99:
+            # Saturated regime (paper's right edge): gross overestimation.
+            assert row.estimate.mean > 1.5 * row.real_bots
+    # The attacked fraction rises monotonically with the real bot count.
+    fractions = [row.attacked_fraction.mean for row in rows]
+    assert all(b >= a - 0.02 for a, b in zip(fractions, fractions[1:]))

@@ -1,0 +1,43 @@
+"""Figure 9 benchmark — shuffles vs number of shuffling replicas.
+
+Default run sweeps four replica counts with 3 repetitions; ``REPRO_FULL=1``
+runs the paper's 900..2000 grid with 30 repetitions.  Asserts the figure's
+claim: the shuffle count drops steadily as replicas are added.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import full_fidelity
+from repro.experiments.fig9 import render_fig9, run_fig9
+from repro.sim.scenarios import FIG9_REPLICA_COUNTS
+
+
+def test_fig9_shuffles_vs_replicas(benchmark, show, repetitions):
+    replica_counts = (
+        FIG9_REPLICA_COUNTS if full_fidelity()
+        else (900, 1200, 1600, 2000)
+    )
+    rows = benchmark.pedantic(
+        run_fig9,
+        kwargs={
+            "replica_counts": replica_counts,
+            "repetitions": repetitions,
+        },
+        rounds=1,
+        iterations=1,
+    )
+    show(render_fig9(rows))
+    by_key = {
+        (r.benign, r.target, r.n_replicas): r.shuffles.mean for r in rows
+    }
+    for benign in (10_000, 50_000):
+        for target in (0.8, 0.95):
+            series = [
+                by_key[(benign, target, p)] for p in replica_counts
+            ]
+            # Monotone non-increasing in the replica count (small noise
+            # tolerated on the trimmed grid).
+            for fewer, more in zip(series, series[1:]):
+                assert more <= fewer * 1.10
+            # End-to-end the drop is substantial.
+            assert series[-1] < series[0]

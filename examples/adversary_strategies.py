@@ -1,0 +1,96 @@
+"""Stress the defense against the paper's adversary taxonomy.
+
+Section II-B and the Section VII discussion enumerate attacker strategies;
+this example runs each against the same protected deployment and compares
+the outcomes:
+
+- **naive-only**: a leaked hit-list of the original replica addresses,
+  with no bots able to follow the moving targets;
+- **persistent network**: insiders reveal every new replica location to a
+  flooding botnet;
+- **persistent computational**: insiders exhaust replica CPUs with
+  expensive requests (no flood at all);
+- **on-off**: persistent bots that go quiet whenever they observe a
+  shuffle, attempting to blend back in.
+
+Run with::
+
+    python examples/adversary_strategies.py
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cloudsim import CloudConfig, CloudDefenseSystem
+
+
+@dataclass(frozen=True)
+class Outcome:
+    name: str
+    shuffles: int
+    benign_ok: float
+    tail_ok: float
+    waste: float
+
+
+def run_strategy(name: str, seed: int = 99) -> Outcome:
+    config = CloudConfig(naive_pps=0.0 if name == "computational"
+                         else 50_000.0)
+    system = CloudDefenseSystem(config, seed=seed)
+    system.add_benign_clients(100)
+
+    if name == "naive-only":
+        system.build()
+        system.botnet.prune_delay = 1e9  # fleet never re-coordinates
+        for replica in system.ctx.active_replicas():
+            system.botnet.reveal(replica.endpoint.address)
+    elif name == "persistent":
+        system.add_persistent_bots(10)
+    elif name == "computational":
+        system.add_persistent_bots(10, computational=True)
+    elif name == "on-off":
+        system.add_persistent_bots(10, on_off=True, off_duration=40.0)
+    else:
+        raise ValueError(f"unknown strategy {name!r}")
+
+    report = system.run(duration=200.0)
+    return Outcome(
+        name=name,
+        shuffles=report.shuffles,
+        benign_ok=report.benign_success_overall,
+        tail_ok=report.benign_success_last_quarter,
+        waste=report.naive_waste_ratio,
+    )
+
+
+def main() -> None:
+    print("running four adversary strategies against the same deployment "
+          "(200 simulated seconds each)...\n")
+    outcomes = [
+        run_strategy(name)
+        for name in ("naive-only", "persistent", "computational", "on-off")
+    ]
+    print(f"{'strategy':<14} {'shuffles':>8} {'benign ok':>10} "
+          f"{'tail ok':>8} {'flood wasted':>13}")
+    print("-" * 58)
+    for outcome in outcomes:
+        print(
+            f"{outcome.name:<14} {outcome.shuffles:>8} "
+            f"{outcome.benign_ok:>10.1%} {outcome.tail_ok:>8.1%} "
+            f"{outcome.waste:>13.1%}"
+        )
+    print()
+    print("readings:")
+    print(" - naive-only attacks die after the first substitution: the "
+          "hit-list goes stale")
+    print(" - persistent attackers force repeated shuffles but the tail "
+          "recovers every time")
+    print(" - computational insiders are caught by CPU-load detection, "
+          "no flood needed")
+    print(" - on-off bots merely lower their own attack intensity "
+          "(Section VII's argument)")
+
+
+if __name__ == "__main__":
+    main()

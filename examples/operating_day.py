@@ -1,0 +1,64 @@
+"""One operating day of a protected service: three attack waves.
+
+The paper sells the defense as *reactive*: near-zero footprint in quiet
+hours, elastic scale-out only while mitigating (Sections II-A & VII).
+This example simulates a 24-hour timeline with a morning probe, an
+afternoon headline-scale assault, and an evening aftershock, then compares
+the replica-hours the reactive strategy consumed against keeping the
+mitigation fleet always on.
+
+Run with::
+
+    python examples/operating_day.py
+"""
+
+from __future__ import annotations
+
+from repro.sim import AttackWave, CampaignConfig, run_campaign
+
+
+def main() -> None:
+    config = CampaignConfig(
+        waves=(
+            AttackWave(start_hour=3.5, bots=5_000, benign=20_000),
+            AttackWave(
+                start_hour=13.0, bots=40_000, benign=20_000,
+                target_fraction=0.8,
+            ),
+            AttackWave(start_hour=20.0, bots=10_000, benign=20_000),
+        ),
+        horizon_hours=24.0,
+        baseline_replicas=4,
+        shuffle_replicas=1_000,
+        shuffle_seconds=30.0,
+    )
+    print("simulating a 24-hour campaign against the protected service...\n")
+    result = run_campaign(config, seed=7)
+
+    print(f"{'wave':>5}  {'starts':>6}  {'bots':>7}  {'shuffles':>8}  "
+          f"{'saved':>6}  {'mitigation':>10}")
+    print("-" * 55)
+    for index, outcome in enumerate(result.outcomes, start=1):
+        print(
+            f"{index:>5}  {outcome.wave.start_hour:>5.1f}h  "
+            f"{outcome.wave.bots:>7,}  {outcome.shuffles:>8}  "
+            f"{outcome.saved_fraction:>6.1%}  "
+            f"{outcome.mitigation_hours * 60:>8.1f} min"
+        )
+
+    print()
+    print(f"replica-hours, reactive defense:  "
+          f"{result.replica_hours_reactive:,.0f}")
+    print(f"replica-hours, always-on fleet:   "
+          f"{result.replica_hours_always_on:,.0f}")
+    print(f"maintenance saved by reacting:    "
+          f"{result.reactive_saving:.1%}")
+    print()
+    print("every wave was mitigated in minutes; between waves the service "
+          "ran on just")
+    print(f"{config.baseline_replicas} baseline replicas - the paper's "
+          "'minimum maintenance costs' argument.")
+
+
+if __name__ == "__main__":
+    main()

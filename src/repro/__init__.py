@@ -1,0 +1,79 @@
+"""repro — reproduction of *Catch Me if You Can: A Cloud-Enabled DDoS
+Defense* (Jia, Wang, Fleck, Li, Stavrou, Powell — DSN 2014).
+
+The library implements the paper's shuffling-based moving-target DDoS
+defense end to end:
+
+- ``repro.core`` — shuffle-plan optimization (optimal DP, greedy, even
+  baseline), attack-scale MLE, and the multi-round shuffling control loop.
+- ``repro.sim`` — Monte-Carlo evaluation harness for the paper's
+  Section VI-A simulations (Poisson arrivals, repeated runs, confidence
+  intervals).
+- ``repro.cloudsim`` — a discrete-event simulation of the full Section III
+  architecture: DNS, redirecting load balancers, whitelist-enforcing
+  replica servers, the coordination server, benign clients, and naive /
+  persistent / on-off bots — plus the EC2-prototype migration-latency model
+  of Section VI-B.
+- ``repro.analysis`` — closed-form results (Theorem 1) and paper reference
+  series used for shape comparison.
+- ``repro.experiments`` — one driver per paper table/figure
+  (``python -m repro.experiments <fig3|fig4|...|fig12|headline>``).
+
+Quickstart::
+
+    from repro import greedy_plan, ShuffleEngine
+
+    plan = greedy_plan(n_clients=1000, n_bots=100, n_replicas=50)
+    print(plan.describe())
+
+    engine = ShuffleEngine(n_replicas=1000, planner="greedy")
+    state = engine.run(benign=50_000, bots=100_000, target_fraction=0.8)
+    print(f"saved 80% of benign clients in {len(state.rounds)} shuffles")
+"""
+
+from .core import (
+    BotEstimate,
+    PLANNERS,
+    PlanError,
+    RoundResult,
+    ShuffleEngine,
+    ShufflePlan,
+    ShuffleState,
+    dp_fast_plan,
+    dp_fast_value,
+    dp_plan,
+    dp_value,
+    estimate_bots_mle,
+    estimate_bots_moment,
+    even_plan,
+    expected_saved,
+    greedy_plan,
+    shuffle_trajectory,
+    single_replica_optimum,
+    survival_probability,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BotEstimate",
+    "PLANNERS",
+    "PlanError",
+    "RoundResult",
+    "ShuffleEngine",
+    "ShufflePlan",
+    "ShuffleState",
+    "__version__",
+    "dp_fast_plan",
+    "dp_fast_value",
+    "dp_plan",
+    "dp_value",
+    "estimate_bots_mle",
+    "estimate_bots_moment",
+    "even_plan",
+    "expected_saved",
+    "greedy_plan",
+    "shuffle_trajectory",
+    "single_replica_optimum",
+    "survival_probability",
+]

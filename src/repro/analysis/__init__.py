@@ -1,0 +1,60 @@
+"""Analytical results and paper reference data.
+
+- :mod:`~repro.analysis.theory` — Theorem 1 and closed-form expectations.
+- :mod:`~repro.analysis.series` — digitized qualitative reference points
+  from the paper's figures, used by benchmarks to compare shapes.
+- :mod:`~repro.analysis.cost` — cloud-resource cost model (the paper's
+  stated future work) comparing shuffling against pure expansion.
+"""
+
+from .convergence import (
+    TrajectoryPoint,
+    predict_shuffles,
+    predict_trajectory,
+)
+from .cost import (
+    CostModel,
+    DefenseCost,
+    compare_costs,
+    expansion_cost,
+    shuffling_cost,
+)
+from .series import (
+    PAPER_FIG3_SAVED_FRACTION,
+    PAPER_FIG8_SHUFFLES,
+    PAPER_FIG9_SHUFFLES,
+    PAPER_FIG12_TOTAL_SECONDS,
+    PAPER_HEADLINE_SHUFFLES,
+    growth_factor,
+    shape_correlation,
+)
+from .theory import (
+    all_attacked_with_high_probability,
+    expected_saved_fraction_even,
+    expected_unattacked_replicas,
+    max_estimable_bots,
+    min_replicas_for_bots,
+)
+
+__all__ = [
+    "CostModel",
+    "DefenseCost",
+    "PAPER_FIG12_TOTAL_SECONDS",
+    "PAPER_FIG3_SAVED_FRACTION",
+    "PAPER_FIG8_SHUFFLES",
+    "PAPER_FIG9_SHUFFLES",
+    "PAPER_HEADLINE_SHUFFLES",
+    "TrajectoryPoint",
+    "all_attacked_with_high_probability",
+    "compare_costs",
+    "expansion_cost",
+    "expected_saved_fraction_even",
+    "expected_unattacked_replicas",
+    "growth_factor",
+    "max_estimable_bots",
+    "min_replicas_for_bots",
+    "predict_shuffles",
+    "predict_trajectory",
+    "shape_correlation",
+    "shuffling_cost",
+]

@@ -1,0 +1,148 @@
+"""Cloud-resource cost model for the defense (the paper's stated future
+work: "a quantitative study on the cost of the shuffling-based moving
+target defense").
+
+Two cost drivers matter in any IaaS deployment:
+
+- **instance-hours** — how many replica servers run concurrently, for how
+  long; and
+- **instance launches** — how many fresh instances are booted (each boot
+  costs control-plane churn and, on most providers, a minimum billing
+  quantum).
+
+The shuffling defense keeps a constant pool of ``P`` shuffling replicas
+(plus the replicas being replaced, so ~2P at the peak of a shuffle) for
+the few minutes mitigation takes, then scales back to the regular
+footprint.  Pure expansion (:mod:`repro.core.expansion`) must keep its
+entire diluted fleet up for the whole attack, because it never isolates
+the bots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.expansion import ExpansionPlan
+
+__all__ = ["CostModel", "DefenseCost", "shuffling_cost", "expansion_cost",
+           "compare_costs"]
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Pricing assumptions (defaults are EC2-small-era magnitudes;
+    conclusions are ratios and insensitive to the absolute prices).
+
+    Attributes:
+        instance_hour: price of one replica instance-hour.
+        launch: fixed cost per instance boot (billing quantum +
+            control-plane overhead).
+        shuffle_duration: wall-clock seconds one shuffle occupies
+            (replica boot + migration; Figure 12 puts migration itself at
+            a few seconds).
+    """
+
+    instance_hour: float = 0.05
+    launch: float = 0.005
+    shuffle_duration: float = 30.0
+
+
+@dataclass(frozen=True)
+class DefenseCost:
+    """Resource footprint of one defensive response."""
+
+    strategy: str
+    peak_instances: int
+    instance_hours: float
+    launches: int
+    dollars: float
+
+    def describe(self) -> str:
+        return (
+            f"{self.strategy}: peak {self.peak_instances:,} instances, "
+            f"{self.instance_hours:,.1f} instance-hours, "
+            f"{self.launches:,} launches, ${self.dollars:,.2f}"
+        )
+
+
+def shuffling_cost(
+    n_replicas: int,
+    n_shuffles: int,
+    model: CostModel | None = None,
+    steady_replicas: int = 0,
+) -> DefenseCost:
+    """Cost of mitigating via shuffling.
+
+    ``n_replicas`` shuffling replicas stay up for the whole mitigation;
+    each shuffle additionally boots a replacement set (the attacked
+    replicas are recycled after migration, so the peak concurrency is
+    about twice the pool).
+    """
+    model = model or CostModel()
+    mitigation_hours = n_shuffles * model.shuffle_duration / 3600.0
+    # Pool + in-flight replacements at peak.
+    peak = 2 * n_replicas + steady_replicas
+    instance_hours = peak * mitigation_hours
+    launches = n_replicas * (n_shuffles + 1)
+    dollars = (
+        instance_hours * model.instance_hour + launches * model.launch
+    )
+    return DefenseCost(
+        strategy="shuffling",
+        peak_instances=peak,
+        instance_hours=instance_hours,
+        launches=launches,
+        dollars=dollars,
+    )
+
+
+def expansion_cost(
+    plan: ExpansionPlan,
+    attack_duration_hours: float,
+    model: CostModel | None = None,
+) -> DefenseCost:
+    """Cost of mitigating via pure server expansion.
+
+    The diluted fleet must stay up as long as the attack does — expansion
+    never removes the bots, so scaling back down re-concentrates them.
+    """
+    model = model or CostModel()
+    instance_hours = plan.replicas_needed * attack_duration_hours
+    dollars = (
+        instance_hours * model.instance_hour
+        + plan.replicas_needed * model.launch
+    )
+    return DefenseCost(
+        strategy="expansion",
+        peak_instances=plan.replicas_needed,
+        instance_hours=instance_hours,
+        launches=plan.replicas_needed,
+        dollars=dollars,
+    )
+
+
+def compare_costs(
+    benign: int,
+    bots: int,
+    target_fraction: float,
+    shuffles_needed: float,
+    n_replicas: int,
+    attack_duration_hours: float = 6.0,
+    model: CostModel | None = None,
+) -> tuple[DefenseCost, DefenseCost]:
+    """Shuffling vs expansion for the same protection target.
+
+    Returns ``(shuffling, expansion)`` cost records; the paper's claim is
+    that the first is far cheaper (intro: "fewer resources than attack
+    dilution strategies using pure server expansion").
+    """
+    expansion_plan = ExpansionPlan.solve(
+        benign + bots, bots, target_fraction
+    )
+    shuffling = shuffling_cost(
+        n_replicas, round(shuffles_needed), model=model
+    )
+    expansion = expansion_cost(
+        expansion_plan, attack_duration_hours, model=model
+    )
+    return shuffling, expansion

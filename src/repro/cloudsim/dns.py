@@ -1,0 +1,47 @@
+"""DNS front door (steps 1-2 of the paper's Figure 1).
+
+Clients resolve the protected service's domain name; the DNS server spreads
+them over the cloud domains where the defense is deployed (round-robin DNS,
+RFC 1794 style).  Per the paper's threat model the DNS infrastructure is
+well-provisioned and out of scope for the attack, so it is modeled as an
+always-available directory.
+"""
+
+from __future__ import annotations
+
+from .loadbalancer import LoadBalancer
+from .network import Endpoint
+
+__all__ = ["DnsServer"]
+
+
+class DnsServer:
+    """Round-robin resolver mapping the service name to load balancers."""
+
+    def __init__(self, service_name: str = "example.com") -> None:
+        self.service_name = service_name
+        self._balancers: list[LoadBalancer] = []
+        self._cursor = 0
+        self.queries = 0
+
+    def register(self, balancer: LoadBalancer) -> None:
+        """Publish a load balancer under the service name."""
+        self._balancers.append(balancer)
+
+    def resolve(self, name: str) -> Endpoint:
+        """Resolve the service name to a load-balancer endpoint."""
+        if name != self.service_name:
+            raise KeyError(f"unknown name: {name}")
+        if not self._balancers:
+            raise RuntimeError("no load balancers registered")
+        self.queries += 1
+        balancer = self._balancers[self._cursor % len(self._balancers)]
+        self._cursor += 1
+        return balancer.endpoint
+
+    def balancer_for(self, endpoint: Endpoint) -> LoadBalancer:
+        """Look up the balancer object behind a resolved endpoint."""
+        for balancer in self._balancers:
+            if balancer.endpoint == endpoint:
+                return balancer
+        raise KeyError(f"no balancer at {endpoint}")

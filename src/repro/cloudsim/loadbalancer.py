@@ -1,0 +1,159 @@
+"""Redirecting load balancers (paper Section III-B).
+
+One or more load balancers per cloud domain keep an up-to-date list of the
+domain's active replicas and *redirect* (never forward) each new client to
+one of them: the reply carries the replica's unique network location, the
+replica's whitelist gains the client's IP, and from then on the client and
+replica talk directly (sticky sessions, one replica per client IP).
+
+Redirection-as-handshake gives two properties the paper leans on: spoofed
+source IPs never learn a replica address (they cannot receive the
+redirect), and the load balancer stays out of the data path so it is not a
+bottleneck during an attack.
+
+Section VII's re-entry defense also lives here: a client that leaves and
+returns within the memory window is pinned to its previously recorded
+replica, so an attacker cannot reshuffle itself into a cleaner group by
+reconnecting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from .network import Endpoint
+from .replica import ReplicaServer
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .system import CloudContext
+
+__all__ = ["LoadBalancer", "AssignmentRecord"]
+
+
+@dataclass
+class AssignmentRecord:
+    """Sticky-session memory for one client IP."""
+
+    replica_address: str
+    recorded_at: float
+
+
+@dataclass
+class DomainDirectory:
+    """Shared per-domain state behind all of a domain's load balancers.
+
+    The paper allows "deploying multiple load balancers per cloud domain"
+    for resiliency; for sticky sessions to survive a client landing on a
+    different balancer (round-robin DNS), the replica registry and the
+    assignment memory must be shared domain-wide — the coordination
+    server's "global client-to-server bindings" scoped to one domain.
+    """
+
+    domain: str
+    replicas: dict[str, "ReplicaServer"] = field(default_factory=dict)
+    assignments: dict[str, AssignmentRecord] = field(default_factory=dict)
+
+
+class LoadBalancer:
+    """A redirecting load balancer frontend for one cloud domain.
+
+    Multiple balancers of the same domain share one
+    :class:`DomainDirectory`; each keeps only its own traffic counters.
+    """
+
+    def __init__(
+        self,
+        ctx: "CloudContext",
+        domain: str,
+        index: int = 0,
+        directory: DomainDirectory | None = None,
+    ) -> None:
+        self.ctx = ctx
+        self.domain = domain
+        self.endpoint = Endpoint(domain=domain, address=f"lb-{domain}-{index}")
+        self.directory = (
+            directory if directory is not None else DomainDirectory(domain)
+        )
+        self._round_robin = 0
+        self.clients_assigned = 0
+        # Junk absorbed from spoofed-source floods (Section VII): the LBs
+        # are assumed well-provisioned, so this is bookkeeping, not load.
+        self.spoofed_packets = 0.0
+
+    @property
+    def replicas(self) -> dict[str, ReplicaServer]:
+        """Domain-wide replica registry (shared across co-domain LBs)."""
+        return self.directory.replicas
+
+    @property
+    def assignments(self) -> dict[str, AssignmentRecord]:
+        """Domain-wide sticky-session memory (shared across LBs)."""
+        return self.directory.assignments
+
+    # ------------------------------------------------------------------
+    # replica registry
+    # ------------------------------------------------------------------
+    def register_replica(self, replica: ReplicaServer) -> None:
+        """Track a newly active replica in this domain."""
+        if replica.endpoint.domain != self.domain:
+            raise ValueError(
+                f"replica {replica.endpoint.address} belongs to domain "
+                f"{replica.endpoint.domain}, not {self.domain}"
+            )
+        self.replicas[replica.endpoint.address] = replica
+
+    def deregister_replica(self, address: str) -> None:
+        """Forget a retired replica."""
+        self.replicas.pop(address, None)
+
+    def active_replicas(self) -> list[ReplicaServer]:
+        return [r for r in self.replicas.values() if r.is_active]
+
+    # ------------------------------------------------------------------
+    # client assignment (steps 3-4 of the paper's Figure 1)
+    # ------------------------------------------------------------------
+    def assign(self, client_id: str, client: object) -> Endpoint | None:
+        """Assign a client to a replica and return the redirect target.
+
+        Returns ``None`` when no active replica exists (callers retry
+        after a back-off).  Re-entering clients whose previous record has
+        not expired are pinned to their recorded replica (Section VII).
+        """
+        record = self.assignments.get(client_id)
+        if record is not None:
+            age = self.ctx.now - record.recorded_at
+            if age <= self.ctx.config.assignment_memory:
+                replica = self.replicas.get(record.replica_address)
+                if replica is not None and replica.is_active:
+                    replica.admit(client_id, client)
+                    return replica.endpoint
+            else:
+                del self.assignments[client_id]
+
+        candidates = self.active_replicas()
+        if not candidates:
+            return None
+        # Least-loaded assignment keeps regular operation balanced; any
+        # load-balancing policy is admissible per the paper.
+        replica = min(candidates, key=lambda r: r.n_clients)
+        replica.admit(client_id, client)
+        self.assignments[client_id] = AssignmentRecord(
+            replica_address=replica.endpoint.address,
+            recorded_at=self.ctx.now,
+        )
+        self.clients_assigned += 1
+        return replica.endpoint
+
+    def record_shuffle_assignment(
+        self, client_id: str, replica: ReplicaServer
+    ) -> None:
+        """Update sticky memory after the coordinator re-binds a client."""
+        self.assignments[client_id] = AssignmentRecord(
+            replica_address=replica.endpoint.address,
+            recorded_at=self.ctx.now,
+        )
+
+    def forget(self, client_id: str) -> None:
+        """Explicitly drop a client's sticky record (tests/maintenance)."""
+        self.assignments.pop(client_id, None)

@@ -1,0 +1,125 @@
+"""Quality-of-service metrics for the cloud simulation.
+
+The paper's success criterion is "restoring quality of service for
+benign-but-affected clients": we track per-kind request outcomes over time
+so experiments can show benign success rates collapsing when the attack
+lands and recovering as shuffles quarantine the bots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .system import CloudContext
+
+__all__ = ["WindowSample", "MetricsCollector"]
+
+
+@dataclass(frozen=True)
+class WindowSample:
+    """Aggregated benign QoS over one sampling window."""
+
+    time: float
+    benign_sent: int
+    benign_ok: int
+    benign_latency_sum: float
+    attacked_replicas: int
+    active_replicas: int
+    shuffles_completed: int
+
+    @property
+    def success_ratio(self) -> float:
+        if self.benign_sent == 0:
+            return 1.0
+        return self.benign_ok / self.benign_sent
+
+    @property
+    def mean_latency(self) -> float:
+        if self.benign_ok == 0:
+            return 0.0
+        return self.benign_latency_sum / self.benign_ok
+
+
+class MetricsCollector:
+    """Streaming QoS aggregation with periodic snapshots."""
+
+    def __init__(self, ctx: "CloudContext", interval: float = 1.0) -> None:
+        self.ctx = ctx
+        self.interval = interval
+        self.samples: list[WindowSample] = []
+        self._window_sent = 0
+        self._window_ok = 0
+        self._window_latency = 0.0
+        self._running = False
+        # lifetime totals per client kind
+        self.totals: dict[str, dict[str, float]] = {}
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self.ctx.sim.schedule(self.interval, self._snapshot, label="metrics")
+
+    def stop(self) -> None:
+        self._running = False
+
+    def record_request(self, client, ok: bool, latency: float | None) -> None:
+        """Record one completed (or failed) request outcome."""
+        kind = getattr(client, "kind", "benign")
+        totals = self.totals.setdefault(
+            kind, {"sent": 0.0, "ok": 0.0, "latency": 0.0}
+        )
+        totals["sent"] += 1
+        if ok:
+            totals["ok"] += 1
+            totals["latency"] += latency or 0.0
+        if kind == "benign":
+            self._window_sent += 1
+            if ok:
+                self._window_ok += 1
+                self._window_latency += latency or 0.0
+
+    def _snapshot(self) -> None:
+        if not self._running:
+            return
+        attacked = sum(
+            1 for r in self.ctx.active_replicas() if r.overloaded()
+        )
+        self.samples.append(
+            WindowSample(
+                time=self.ctx.now,
+                benign_sent=self._window_sent,
+                benign_ok=self._window_ok,
+                benign_latency_sum=self._window_latency,
+                attacked_replicas=attacked,
+                active_replicas=len(self.ctx.active_replicas()),
+                shuffles_completed=self.ctx.coordinator.shuffle_count,
+            )
+        )
+        self._window_sent = 0
+        self._window_ok = 0
+        self._window_latency = 0.0
+        self.ctx.sim.schedule(self.interval, self._snapshot, label="metrics")
+
+    # ------------------------------------------------------------------
+    # derived summaries
+    # ------------------------------------------------------------------
+    def success_ratio_between(self, start: float, end: float) -> float:
+        """Benign success ratio over a time slice of the run."""
+        sent = ok = 0
+        for sample in self.samples:
+            if start <= sample.time <= end:
+                sent += sample.benign_sent
+                ok += sample.benign_ok
+        if sent == 0:
+            return 1.0
+        return ok / sent
+
+    def benign_success_ratio(self, kind: str = "benign") -> float:
+        """Lifetime success ratio for a client kind."""
+        totals = self.totals.get(kind)
+        if not totals or totals["sent"] == 0:
+            return 1.0
+        return totals["ok"] / totals["sent"]

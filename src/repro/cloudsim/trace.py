@@ -1,0 +1,79 @@
+"""Structured event tracing for the cloud simulation.
+
+A production deployment of the paper's defense would need an audit trail:
+when was an attack detected, which replicas were recycled, how long did
+each migration take, which clients moved where.  :class:`Tracer` collects
+typed, timestamped records from the simulated components and can export
+them as JSON-lines for offline analysis.
+
+Tracing is opt-in (``CloudContext.attach_tracer``) and zero-cost when
+disabled: emit sites call :meth:`CloudContext.trace`, which is a no-op
+without an attached tracer.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+__all__ = ["TraceEvent", "Tracer"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped occurrence in the simulation."""
+
+    time: float
+    kind: str
+    data: dict[str, Any]
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {"time": round(self.time, 6), "kind": self.kind, **self.data},
+            sort_keys=True,
+        )
+
+
+@dataclass
+class Tracer:
+    """Collects :class:`TraceEvent` records in arrival order.
+
+    Args:
+        kinds: optional allow-list; events of other kinds are dropped at
+            the emit site (useful to trace only shuffles in long runs).
+        capacity: optional cap on retained events (oldest dropped first),
+            bounding memory in very long simulations.
+    """
+
+    kinds: frozenset[str] | None = None
+    capacity: int | None = None
+    events: list[TraceEvent] = field(default_factory=list)
+    dropped: int = 0
+
+    def emit(self, time: float, kind: str, **data: Any) -> None:
+        """Record one event (subject to the kind filter and capacity)."""
+        if self.kinds is not None and kind not in self.kinds:
+            return
+        self.events.append(TraceEvent(time=time, kind=kind, data=data))
+        if self.capacity is not None and len(self.events) > self.capacity:
+            overflow = len(self.events) - self.capacity
+            del self.events[:overflow]
+            self.dropped += overflow
+
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        """All retained events of one kind, in order."""
+        return [event for event in self.events if event.kind == kind]
+
+    def between(self, start: float, end: float) -> Iterator[TraceEvent]:
+        """Events with ``start <= time <= end``."""
+        return (
+            event for event in self.events if start <= event.time <= end
+        )
+
+    def to_jsonl(self) -> str:
+        """Export every retained event as JSON-lines."""
+        return "\n".join(event.to_json() for event in self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)

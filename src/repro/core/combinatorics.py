@@ -1,0 +1,205 @@
+"""Exact and log-space combinatorics used by the shuffling optimization.
+
+Every probability in the paper's model (Section IV-A) is a ratio of binomial
+coefficients.  At paper scale (``N`` up to 150,000 clients) the coefficients
+themselves overflow any fixed-width float, so all public helpers work in
+log-space via ``math.lgamma`` and only exponentiate ratios, which are always
+in ``[0, 1]``.
+
+Vocabulary (paper Table I):
+
+``N``
+    total number of clients, benign clients plus persistent bots.
+``M``
+    number of persistent bots hidden among the ``N`` clients.
+``P``
+    number of shuffling replica servers.
+``x_i``
+    number of clients assigned to the *i*-th shuffling replica.
+``p_i``
+    probability that the *i*-th replica is bot-free,
+    ``p_i = C(N - x_i, M) / C(N, M)``.
+"""
+
+from __future__ import annotations
+
+import math
+from functools import lru_cache
+
+import numpy as np
+
+__all__ = [
+    "log_binomial",
+    "binomial_ratio",
+    "survival_probability",
+    "survival_probabilities",
+    "expected_saved_single",
+    "expected_saved_single_many",
+    "hypergeometric_pmf",
+    "hypergeometric_pmf_vector",
+]
+
+
+@lru_cache(maxsize=1 << 20)
+def log_binomial(n: int, k: int) -> float:
+    """Return ``log C(n, k)``, or ``-inf`` when the coefficient is zero.
+
+    ``C(n, k) = 0`` for ``k < 0`` or ``k > n``; we mirror that convention so
+    probability ratios built from impossible configurations come out as 0
+    rather than raising.
+    """
+    if k < 0 or k > n or n < 0:
+        return float("-inf")
+    if k == 0 or k == n:
+        return 0.0
+    return (
+        math.lgamma(n + 1) - math.lgamma(k + 1) - math.lgamma(n - k + 1)
+    )
+
+
+def binomial_ratio(n1: int, k1: int, n2: int, k2: int) -> float:
+    """Return ``C(n1, k1) / C(n2, k2)`` computed stably in log-space.
+
+    Raises :class:`ZeroDivisionError` when the denominator is zero.
+    """
+    log_den = log_binomial(n2, k2)
+    if log_den == float("-inf"):
+        raise ZeroDivisionError(f"C({n2}, {k2}) is zero")
+    log_num = log_binomial(n1, k1)
+    if log_num == float("-inf"):
+        return 0.0
+    return math.exp(log_num - log_den)
+
+
+def survival_probability(n: int, m: int, x: int) -> float:
+    """Probability that a replica holding ``x`` of ``n`` clients is bot-free.
+
+    This is the paper's ``p_i = C(N - x_i, M) / C(N, M)``: the chance that
+    all ``m`` bots land on the other ``n - x`` client slots when the ``m``
+    bot identities are a uniform random subset of the ``n`` clients.
+
+    Example::
+
+        >>> round(survival_probability(4, 1, 1), 6)  # 1 bot in 4 clients
+        0.75
+    """
+    if not 0 <= x <= n:
+        raise ValueError(f"x={x} must be within [0, {n}]")
+    if not 0 <= m <= n:
+        raise ValueError(f"m={m} must be within [0, {n}]")
+    if m == 0:
+        return 1.0
+    return binomial_ratio(n - x, m, n, m)
+
+
+def survival_probabilities(n: int, m: int, xs: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`survival_probability` over an array of group sizes.
+
+    Uses ``scipy``-free log-gamma vectorization so it stays fast for the
+    ``N = 150,000`` sweeps in the Figure 8-10 simulations.
+    """
+    xs = np.asarray(xs, dtype=np.int64)
+    if xs.size == 0:
+        return np.zeros(0, dtype=np.float64)
+    if xs.min() < 0 or xs.max() > n:
+        raise ValueError("group sizes must be within [0, n]")
+    if not 0 <= m <= n:
+        raise ValueError(f"m={m} must be within [0, {n}]")
+    if m == 0:
+        return np.ones(xs.shape, dtype=np.float64)
+    rest = n - xs
+    # log C(rest, m) - log C(n, m); C(rest, m) = 0 whenever rest < m.
+    out = np.full(xs.shape, -np.inf, dtype=np.float64)
+    ok = rest >= m
+    restf = rest[ok].astype(np.float64)
+    log_num = (
+        _lgamma(restf + 1.0)
+        - _lgamma(float(m) + 1.0)
+        - _lgamma(restf - float(m) + 1.0)
+    )
+    log_den = (
+        math.lgamma(n + 1) - math.lgamma(m + 1) - math.lgamma(n - m + 1)
+    )
+    out[ok] = log_num - log_den
+    return np.exp(out)
+
+
+def _lgamma(values: np.ndarray | float) -> np.ndarray:
+    """``lgamma`` broadcast over numpy arrays."""
+    return _VECTOR_LGAMMA(values)
+
+
+def _make_vector_lgamma():
+    try:
+        from scipy.special import gammaln
+
+        return gammaln
+    except ImportError:  # pragma: no cover - scipy is an install requirement
+        return np.vectorize(math.lgamma, otypes=[np.float64])
+
+
+_VECTOR_LGAMMA = _make_vector_lgamma()
+
+
+def expected_saved_single(n: int, m: int, x: int) -> float:
+    """Expected benign clients saved by one replica of size ``x``.
+
+    The paper's per-replica objective term ``f(x) = x * p(x)``: all ``x``
+    clients are saved iff the replica is bot-free (then every one of them is
+    benign), otherwise none are.
+    """
+    return x * survival_probability(n, m, x)
+
+
+def expected_saved_single_many(n: int, m: int, xs: np.ndarray) -> np.ndarray:
+    """Vectorized ``f(x) = x * p(x)`` over group sizes ``xs``."""
+    xs = np.asarray(xs, dtype=np.int64)
+    return xs.astype(np.float64) * survival_probabilities(n, m, xs)
+
+
+def hypergeometric_pmf(total: int, marked: int, draws: int, hits: int) -> float:
+    """``P[b = hits]`` when drawing ``draws`` of ``total`` items, ``marked``
+    of which are special — the paper's ``Pr(b)`` in Equation 3.
+
+    ``Pr(b) = C(M, b) C(N − M, a − b) / C(N, a)`` with ``total = N``,
+    ``marked = M``, ``draws = a``, ``hits = b``.
+    """
+    if not 0 <= marked <= total:
+        raise ValueError("marked must be within [0, total]")
+    if not 0 <= draws <= total:
+        raise ValueError("draws must be within [0, total]")
+    log_den = log_binomial(total, draws)
+    log_num = log_binomial(marked, hits) + log_binomial(
+        total - marked, draws - hits
+    )
+    if log_num == float("-inf"):
+        return 0.0
+    return math.exp(log_num - log_den)
+
+
+def hypergeometric_pmf_vector(total: int, marked: int, draws: int) -> np.ndarray:
+    """Full hypergeometric pmf over ``b ∈ [0, min(draws, marked)]``.
+
+    Returns an array of length ``min(draws, marked) + 1`` summing to 1
+    (up to float error).  Used by the paper-literal dynamic program, which
+    must enumerate every possible bot count ``b`` on the split-off replica.
+    """
+    upper = min(draws, marked)
+    b = np.arange(upper + 1, dtype=np.float64)
+    markedf = float(marked)
+    restf = float(total - marked)
+    drawsf = float(draws)
+    log_den = log_binomial(total, draws)
+    log_cmb = _lgamma(markedf + 1) - _lgamma(b + 1) - _lgamma(markedf - b + 1)
+    rest_draws = drawsf - b
+    log_crest = (
+        _lgamma(restf + 1)
+        - _lgamma(rest_draws + 1)
+        - _lgamma(restf - rest_draws + 1)
+    )
+    with np.errstate(invalid="ignore"):
+        logs = log_cmb + log_crest - log_den
+    # Entries where (a - b) > (N - M) are impossible: C(rest, a-b) = 0.
+    impossible = rest_draws > restf
+    logs = np.where(impossible, -np.inf, logs)
+    return np.exp(logs)

@@ -1,0 +1,159 @@
+"""Paper-literal optimal dynamic program (Algorithm 1, Section IV-B).
+
+The paper decomposes the global problem by splitting off one replica with
+``a`` clients, enumerating the (unobserved) number ``b`` of bots that land
+on it with hypergeometric probability ``Pr(b)`` (Equation 3), and recursing:
+
+    S(N, M, P) = max_{1<=a<=N-1} Σ_b Pr(b) [ S(a, b, 1) + S(N−a, M−b, P−1) ]
+    S(a, b, 1) = a if b == 0 else 0                            (Equation 2)
+
+Two tables are filled bottom-up exactly as Algorithm 1 describes:
+``save_no[i, j, k]`` (the value ``S(i, j, k)``) and ``assign_no[i, j, k]``
+(the maximizing ``a``).  Complexity is O(N² · M² · P)-ish, which is why the
+paper reports tens-of-hours Matlab runtimes at N = 1000 (Figure 5) and why
+:mod:`repro.core.dp_fast` exists for large instances.
+
+A subtlety worth recording (see DESIGN.md §5.2): because the recursion
+conditions on ``b``, it prices an *adaptive* policy — one that could pick
+later group sizes after observing how many bots landed on earlier replicas.
+A real shuffle fixes all sizes up front.  On every instance we test, the
+adaptive value coincides with the static optimum computed by
+:mod:`repro.core.dp_fast`, which is consistent with the paper treating the
+two formulations as one problem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .combinatorics import hypergeometric_pmf_vector
+from .objective import expected_saved_sizes
+from .plan import ShufflePlan
+
+__all__ = ["DPTables", "optimal_assign", "dp_value", "dp_plan"]
+
+
+@dataclass(frozen=True)
+class DPTables:
+    """Output of Algorithm 1: the two lookup tables plus dimensions.
+
+    Attributes:
+        save_no: ``S(i, j, k)`` for ``i ∈ [0, N]``, ``j ∈ [0, M]``,
+            ``k ∈ [1, P]`` (axis 2 index ``k-1``).
+        assign_no: maximizing split size ``a`` at each state; 0 where the
+            state is terminal (``k == 1`` or no valid split).
+    """
+
+    save_no: np.ndarray
+    assign_no: np.ndarray
+    n_clients: int
+    n_bots: int
+    n_replicas: int
+
+    def value(self) -> float:
+        """The optimal expected saved clients ``S(N, M, P)``."""
+        return float(
+            self.save_no[self.n_clients, self.n_bots, self.n_replicas - 1]
+        )
+
+
+def optimal_assign(n_clients: int, n_bots: int, n_replicas: int) -> DPTables:
+    """Run Algorithm 1 and return the filled tables.
+
+    This is intentionally the paper's formulation, not the fastest
+    equivalent one; use :func:`repro.core.dp_fast.dp_fast_plan` beyond
+    ``N`` of a few hundred.
+    """
+    if n_replicas < 1:
+        raise ValueError(f"n_replicas={n_replicas} must be >= 1")
+    if not 0 <= n_bots <= n_clients:
+        raise ValueError(f"n_bots={n_bots} must be within [0, {n_clients}]")
+
+    shape = (n_clients + 1, n_bots + 1, n_replicas)
+    save_no = np.zeros(shape, dtype=np.float64)
+    assign_no = np.zeros(shape, dtype=np.int64)
+
+    # Base case k = 1 (Equation 2): a bot-free replica saves all its
+    # clients, an attacked one saves none.
+    for i in range(n_clients + 1):
+        save_no[i, 0, 0] = float(i)
+
+    for k in range(1, n_replicas):  # table axis k corresponds to k+1 replicas
+        prev = save_no[:, :, k - 1]
+        for i in range(n_clients + 1):
+            if i == 0:
+                continue
+            for j in range(min(i, n_bots) + 1):
+                if j == 0:
+                    # No bots anywhere: every client is saved regardless of
+                    # the split.
+                    save_no[i, j, k] = float(i)
+                    assign_no[i, j, k] = i
+                    continue
+                best_value = -1.0
+                best_a = 0
+                for a in range(1, i):
+                    pr = hypergeometric_pmf_vector(i, j, a)
+                    b_hi = pr.size - 1  # = min(a, j)
+                    # S(a, b, 1) contributes only at b = 0.
+                    value = pr[0] * a
+                    # Remaining subproblem S(i−a, j−b, k−1) for each b.
+                    rest = prev[i - a, j - b_hi : j + 1][::-1]
+                    value += float(pr @ rest)
+                    if value > best_value:
+                        best_value = value
+                        best_a = a
+                if best_a == 0:
+                    # i == 1: no interior split exists; fall back to putting
+                    # the lone client on one replica.
+                    save_no[i, j, k] = save_no[i, j, 0]
+                else:
+                    save_no[i, j, k] = best_value
+                    assign_no[i, j, k] = best_a
+    return DPTables(
+        save_no=save_no,
+        assign_no=assign_no,
+        n_clients=n_clients,
+        n_bots=n_bots,
+        n_replicas=n_replicas,
+    )
+
+
+def dp_value(n_clients: int, n_bots: int, n_replicas: int) -> float:
+    """Optimal expected number of benign clients saved in one shuffle."""
+    return optimal_assign(n_clients, n_bots, n_replicas).value()
+
+
+def dp_plan(n_clients: int, n_bots: int, n_replicas: int) -> ShufflePlan:
+    """Extract a static plan from the Algorithm 1 tables.
+
+    The tables encode an adaptive policy (later sizes may depend on the
+    realized bot count ``b`` of earlier replicas).  To obtain a static,
+    executable plan we walk the tables following the *most likely* ``b``
+    at every split — the distribution's mode — which collapses the policy
+    tree to one branch.  The plan's ``expected_saved`` is re-scored exactly
+    with Equation 1 so no adaptivity optimism leaks into reported numbers.
+    """
+    tables = optimal_assign(n_clients, n_bots, n_replicas)
+    sizes: list[int] = []
+    i, j = n_clients, n_bots
+    for k in range(n_replicas - 1, 0, -1):
+        a = int(tables.assign_no[i, j, k])
+        if a <= 0:
+            # Terminal fallback state: everything stays together.
+            break
+        sizes.append(a)
+        pr = hypergeometric_pmf_vector(i, j, a)
+        b_mode = int(np.argmax(pr))
+        i -= a
+        j -= b_mode
+        j = max(0, min(j, i))
+    sizes.append(i)
+    while len(sizes) < n_replicas:
+        sizes.append(0)
+    value = expected_saved_sizes(sizes, n_clients, n_bots)
+    return ShufflePlan.from_sizes(
+        sizes, n_bots, expected_saved=value, algorithm="dp"
+    )

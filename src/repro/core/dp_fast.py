@@ -1,0 +1,149 @@
+"""Scalable exact optimizer for Equation 1 (separable reformulation).
+
+Equation 1 is separable: for fixed global ``(N, M)`` each replica
+contributes ``f(x_i) = x_i · C(N − x_i, M) / C(N, M)`` independently, so
+
+    S(N, M, P) = max { Σ_i f(x_i) : Σ_i x_i = N, x_i >= 0 }
+
+is a classic integer resource-allocation problem.  We solve it with
+(max, +) convolutions over the value vectors:
+
+    (u ⊕ v)[n] = max_{0<=a<=n} u[a] + v[n − a]
+
+``B_1 = f`` is the one-replica value vector; ``B_{2k} = B_k ⊕ B_k`` doubles
+the replica count, and an arbitrary ``P`` is assembled from its binary
+expansion — ``O(log P)`` convolutions of ``O(N²)`` work each, instead of the
+paper-literal Algorithm 1's ``O(N² · M² · P)``.  Each convolution records
+its argmax so the optimal plan can be read back by splitting ``N``
+recursively down the combination tree.
+
+The optimum and the plan are *static* (sizes fixed before bots are
+observed), i.e. exactly what a coordination server can execute in one
+shuffle.  Property tests assert this value matches the paper-literal DP on
+every small instance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from .combinatorics import expected_saved_single_many
+from .objective import expected_saved_sizes
+from .plan import ShufflePlan
+
+__all__ = ["dp_fast_value", "dp_fast_plan", "dp_fast_sizes"]
+
+
+@dataclass
+class _Node:
+    """A node of the (max,+) combination tree.
+
+    ``values[n]`` is the best objective achievable by this node's replicas
+    holding exactly ``n`` clients.  For combined nodes, ``arg[n]`` is the
+    client count routed to the left child at the optimum.
+    """
+
+    values: np.ndarray
+    n_replicas: int
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+    arg: Optional[np.ndarray] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _combine(u: _Node, v: _Node) -> _Node:
+    """(max, +) convolution of two value vectors, tracking argmaxes."""
+    size = u.values.size
+    vals = np.empty(size, dtype=np.float64)
+    arg = np.empty(size, dtype=np.int64)
+    uv = u.values
+    vv = v.values
+    for n in range(size):
+        # candidates[a] = value when the left subtree gets `a` clients.
+        candidates = uv[: n + 1] + vv[n::-1]
+        a = int(np.argmax(candidates))
+        vals[n] = candidates[a]
+        arg[n] = a
+    return _Node(
+        values=vals,
+        n_replicas=u.n_replicas + v.n_replicas,
+        left=u,
+        right=v,
+        arg=arg,
+    )
+
+
+def _build_tree(n_clients: int, n_bots: int, n_replicas: int) -> _Node:
+    """Assemble the P-replica value vector via binary exponentiation."""
+    xs = np.arange(0, n_clients + 1, dtype=np.int64)
+    f = expected_saved_single_many(n_clients, n_bots, xs)
+    leaf = _Node(values=f, n_replicas=1)
+
+    power = leaf
+    accumulated: _Node | None = None
+    remaining = n_replicas
+    while remaining > 0:
+        if remaining & 1:
+            accumulated = (
+                power if accumulated is None else _combine(accumulated, power)
+            )
+        remaining >>= 1
+        if remaining > 0:
+            power = _combine(power, power)
+    assert accumulated is not None
+    assert accumulated.n_replicas == n_replicas
+    return accumulated
+
+
+def _extract_sizes(node: _Node, n_clients: int, out: list[int]) -> None:
+    """Read the optimal group sizes back down the combination tree."""
+    if node.is_leaf:
+        out.append(n_clients)
+        return
+    assert node.arg is not None
+    left_share = int(node.arg[n_clients])
+    _extract_sizes(node.left, left_share, out)
+    _extract_sizes(node.right, n_clients - left_share, out)
+
+
+def dp_fast_value(n_clients: int, n_bots: int, n_replicas: int) -> float:
+    """Optimal ``E(S)`` over all static plans for ``(N, M, P)``."""
+    _validate(n_clients, n_bots, n_replicas)
+    if n_clients == 0:
+        return 0.0
+    return float(_build_tree(n_clients, n_bots, n_replicas).values[n_clients])
+
+
+def dp_fast_sizes(n_clients: int, n_bots: int, n_replicas: int) -> list[int]:
+    """Optimal static group sizes (may contain zeros)."""
+    _validate(n_clients, n_bots, n_replicas)
+    if n_clients == 0:
+        return [0] * n_replicas
+    tree = _build_tree(n_clients, n_bots, n_replicas)
+    sizes: list[int] = []
+    _extract_sizes(tree, n_clients, sizes)
+    return sizes
+
+
+def dp_fast_plan(n_clients: int, n_bots: int, n_replicas: int) -> ShufflePlan:
+    """Optimal static plan wrapped as a :class:`ShufflePlan`."""
+    sizes = dp_fast_sizes(n_clients, n_bots, n_replicas)
+    value = expected_saved_sizes(sizes, n_clients, n_bots)
+    return ShufflePlan.from_sizes(
+        sizes, n_bots, expected_saved=value, algorithm="dp_fast"
+    )
+
+
+def _validate(n_clients: int, n_bots: int, n_replicas: int) -> None:
+    if n_replicas < 1:
+        raise ValueError(f"n_replicas={n_replicas} must be >= 1")
+    if n_clients < 0:
+        raise ValueError(f"n_clients={n_clients} must be >= 0")
+    if not 0 <= n_bots <= max(n_clients, 0):
+        raise ValueError(f"n_bots={n_bots} must be within [0, {n_clients}]")

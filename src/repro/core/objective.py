@@ -1,0 +1,81 @@
+"""The paper's Equation 1 — the objective every planner optimizes.
+
+    max E(S) = Σ_i p_i · x_i = Σ_i x_i · C(N − x_i, M) / C(N, M)
+    s.t.      Σ_i x_i = N
+
+The key structural fact (exploited by :mod:`repro.core.dp_fast` and verified
+by the property tests) is that Equation 1 is **separable**: each replica's
+contribution ``f(x_i) = x_i · C(N − x_i, M) / C(N, M)`` depends only on its
+own size and the global ``(N, M)``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .combinatorics import (
+    expected_saved_single_many,
+    survival_probabilities,
+)
+from .plan import ShufflePlan
+
+__all__ = [
+    "expected_saved",
+    "expected_saved_sizes",
+    "per_replica_terms",
+    "single_replica_optimum",
+]
+
+
+def expected_saved(plan: ShufflePlan, n_bots: int | None = None) -> float:
+    """Evaluate ``E(S)`` (Equation 1) for a plan.
+
+    Args:
+        plan: the shuffle plan to score.
+        n_bots: ground-truth bot count to score against. Defaults to the
+            plan's own belief ``plan.n_bots``, but experiments routinely
+            score a plan built from an *estimated* ``M`` against the real
+            one.
+    """
+    m = plan.n_bots if n_bots is None else n_bots
+    return expected_saved_sizes(plan.group_sizes, plan.n_clients, m)
+
+
+def expected_saved_sizes(
+    sizes: Sequence[int] | np.ndarray, n_clients: int, n_bots: int
+) -> float:
+    """``E(S)`` for raw group sizes (no plan object needed)."""
+    xs = np.asarray(sizes, dtype=np.int64)
+    if xs.size == 0:
+        return 0.0
+    return float(expected_saved_single_many(n_clients, n_bots, xs).sum())
+
+
+def per_replica_terms(
+    sizes: Sequence[int] | np.ndarray, n_clients: int, n_bots: int
+) -> np.ndarray:
+    """Per-replica terms ``x_i · p_i`` of Equation 1, as an array."""
+    xs = np.asarray(sizes, dtype=np.int64)
+    return xs.astype(np.float64) * survival_probabilities(
+        n_clients, n_bots, xs
+    )
+
+
+def single_replica_optimum(n_clients: int, n_bots: int) -> tuple[int, float]:
+    """Solve Equation 1 with ``P = 1`` free slot: ``argmax_x f(x)``.
+
+    This is the greedy algorithm's ``ω`` (Section IV-C).  Returns
+    ``(omega, f(omega))``.  ``f`` is evaluated for every ``x ∈ [1, N]`` in a
+    single vectorized pass; at ``M = 0`` every client can be saved so
+    ``omega = N``.
+    """
+    if n_clients <= 0:
+        return 0, 0.0
+    if n_bots == 0:
+        return n_clients, float(n_clients)
+    xs = np.arange(1, n_clients + 1, dtype=np.int64)
+    values = expected_saved_single_many(n_clients, n_bots, xs)
+    best = int(np.argmax(values))
+    return int(xs[best]), float(values[best])

@@ -1,0 +1,61 @@
+"""Machine-readable export of experiment results.
+
+``python -m repro.experiments fig8 --json out.json`` writes the same data
+the tables show, as JSON, so plots can be regenerated with any external
+tool.  The converter handles the library's result types generically:
+dataclasses become objects, :class:`~repro.sim.stats.SampleSummary`
+becomes ``{mean, half_width, n, confidence}``, numpy scalars become
+numbers.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any
+
+import numpy as np
+
+from ..sim.stats import SampleSummary
+
+__all__ = ["to_jsonable", "dump_json"]
+
+# Fields that would bloat the export without adding plot-relevant data.
+_SKIPPED_FIELDS = {"result", "runs", "samples", "per_client_times"}
+
+
+def to_jsonable(value: Any) -> Any:
+    """Recursively convert a result object into JSON-encodable data."""
+    if isinstance(value, SampleSummary):
+        return {
+            "mean": value.mean,
+            "half_width": value.half_width,
+            "n": value.n,
+            "confidence": value.confidence,
+        }
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: to_jsonable(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+            if field.name not in _SKIPPED_FIELDS
+        }
+    if isinstance(value, dict):
+        return {str(key): to_jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [to_jsonable(item) for item in value]
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return [to_jsonable(item) for item in value.tolist()]
+    if isinstance(value, float) and value != value:  # NaN
+        return None
+    return value
+
+
+def dump_json(results: dict[str, Any], path: str) -> None:
+    """Write ``{experiment_name: rows}`` to ``path`` as indented JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(to_jsonable(results), handle, indent=2, sort_keys=True)
+        handle.write("\n")

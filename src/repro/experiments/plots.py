@@ -1,0 +1,132 @@
+"""Terminal line charts for the experiment drivers.
+
+matplotlib is not a dependency of this reproduction, but the paper's
+results are curves; this module renders multi-series line charts as plain
+text so ``python -m repro.experiments fig8 --chart`` can show the shape of
+a figure, not just its table.
+
+The renderer is deliberately simple: linear scales, one glyph per series,
+nearest-cell rasterization, a legend, and axis labels.  It is pure
+string-building, fully unit-tested, and good enough to eyeball a
+crossover.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["Series", "ascii_chart"]
+
+_GLYPHS = "*o+x#@%&"
+
+
+@dataclass(frozen=True)
+class Series:
+    """One named line on the chart."""
+
+    label: str
+    xs: Sequence[float]
+    ys: Sequence[float]
+
+    def __post_init__(self) -> None:
+        if len(self.xs) != len(self.ys):
+            raise ValueError(
+                f"series {self.label!r}: {len(self.xs)} xs vs "
+                f"{len(self.ys)} ys"
+            )
+        if not self.xs:
+            raise ValueError(f"series {self.label!r} is empty")
+
+
+def ascii_chart(
+    series: Sequence[Series],
+    width: int = 64,
+    height: int = 18,
+    title: str | None = None,
+    x_label: str = "",
+    y_label: str = "",
+) -> str:
+    """Render series as an ASCII line chart.
+
+    Args:
+        series: 1-8 named series (one glyph each).
+        width / height: plot-area size in character cells.
+        title: optional heading.
+        x_label / y_label: axis captions.
+    """
+    if not series:
+        raise ValueError("need at least one series")
+    if len(series) > len(_GLYPHS):
+        raise ValueError(f"at most {len(_GLYPHS)} series supported")
+    if width < 8 or height < 4:
+        raise ValueError("chart too small to be legible")
+
+    x_min = min(min(s.xs) for s in series)
+    x_max = max(max(s.xs) for s in series)
+    y_min = min(min(s.ys) for s in series)
+    y_max = max(max(s.ys) for s in series)
+    if x_max == x_min:
+        x_max = x_min + 1.0
+    if y_max == y_min:
+        y_max = y_min + 1.0
+
+    grid = [[" "] * width for _ in range(height)]
+
+    def cell(x: float, y: float) -> tuple[int, int]:
+        col = round((x - x_min) / (x_max - x_min) * (width - 1))
+        row = round((y - y_min) / (y_max - y_min) * (height - 1))
+        return height - 1 - row, col
+
+    for s, glyph in zip(series, _GLYPHS):
+        # Draw line segments by sampling between consecutive points.
+        points = sorted(zip(s.xs, s.ys))
+        for (x0, y0), (x1, y1) in zip(points, points[1:]):
+            steps = max(
+                2, abs(cell(x1, y1)[1] - cell(x0, y0)[1]) * 2
+            )
+            for step in range(steps + 1):
+                t = step / steps
+                row, col = cell(x0 + t * (x1 - x0), y0 + t * (y1 - y0))
+                if grid[row][col] == " ":
+                    grid[row][col] = glyph
+        for x, y in points:  # markers win over line pixels
+            row, col = cell(x, y)
+            grid[row][col] = glyph
+
+    y_lo = _fmt(y_min)
+    y_hi = _fmt(y_max)
+    margin = max(len(y_lo), len(y_hi)) + 1
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for index, row in enumerate(grid):
+        if index == 0:
+            prefix = y_hi.rjust(margin - 1) + "|"
+        elif index == height - 1:
+            prefix = y_lo.rjust(margin - 1) + "|"
+        else:
+            prefix = " " * (margin - 1) + "|"
+        lines.append(prefix + "".join(row))
+    lines.append(" " * (margin - 1) + "+" + "-" * width)
+    x_axis = (
+        " " * margin
+        + _fmt(x_min)
+        + _fmt(x_max).rjust(width - len(_fmt(x_min)))
+    )
+    lines.append(x_axis)
+    if x_label:
+        lines.append(" " * margin + x_label.center(width))
+    legend = "   ".join(
+        f"{glyph}={s.label}" for s, glyph in zip(series, _GLYPHS)
+    )
+    lines.append((y_label + "  " if y_label else "") + legend)
+    return "\n".join(lines)
+
+
+def _fmt(value: float) -> str:
+    if value == int(value) and abs(value) < 1e6:
+        return str(int(value))
+    if abs(value) >= 100:
+        return f"{value:,.0f}"
+    return f"{value:.2f}"

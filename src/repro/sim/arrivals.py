@@ -1,0 +1,80 @@
+"""Client and bot arrival processes (paper Section VI-A).
+
+The paper's simulations assume "both benign clients and persistent bots
+arrive in a Poisson process.  On average, the arrival rate of persistent
+bots was 5000 per 3 shuffles while that of benign clients was 100 per 3
+shuffles."  The bot population of a run is therefore *built up* over the
+early shuffles until it reaches the scenario's target — which is what
+produces Figure 10's signature shape (early shuffles save far more benign
+clients, because fewer bots have shown up yet).
+
+:class:`PoissonArrivals` is a stateful callable compatible with
+:meth:`repro.core.shuffler.ShuffleEngine.run`'s ``arrivals`` hook.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["PoissonArrivals", "PAPER_BOT_RATE", "PAPER_BENIGN_RATE"]
+
+# Paper Section VI-A rates, converted to per-shuffle means.
+PAPER_BOT_RATE = 5000.0 / 3.0
+PAPER_BENIGN_RATE = 100.0 / 3.0
+
+
+@dataclass
+class PoissonArrivals:
+    """Poisson arrivals per shuffle, capped at per-run target populations.
+
+    Attributes:
+        benign_rate: mean benign arrivals per shuffle.
+        bot_rate: mean persistent-bot arrivals per shuffle.
+        benign_cap: total benign clients ever admitted (``None`` = initial
+            population only arrives at time zero — see
+            :meth:`with_initial_benign`).
+        bot_cap: total persistent bots the botnet can commit; arrivals stop
+            once this many bots have entered.
+    """
+
+    benign_rate: float = PAPER_BENIGN_RATE
+    bot_rate: float = PAPER_BOT_RATE
+    benign_cap: float = float("inf")
+    bot_cap: float = float("inf")
+    benign_arrived: int = field(default=0, init=False)
+    bots_arrived: int = field(default=0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.benign_rate < 0 or self.bot_rate < 0:
+            raise ValueError("arrival rates must be non-negative")
+
+    def __call__(
+        self, round_index: int, rng: np.random.Generator
+    ) -> tuple[int, int]:
+        """Draw this round's arrivals (benign, bots), honoring caps."""
+        benign = self._draw(rng, self.benign_rate, self.benign_cap,
+                            self.benign_arrived)
+        self.benign_arrived += benign
+        bots = self._draw(rng, self.bot_rate, self.bot_cap,
+                          self.bots_arrived)
+        self.bots_arrived += bots
+        return benign, bots
+
+    @staticmethod
+    def _draw(
+        rng: np.random.Generator, rate: float, cap: float, arrived: int
+    ) -> int:
+        if rate <= 0 or arrived >= cap:
+            return 0
+        draw = int(rng.poisson(rate))
+        remaining = cap - arrived
+        if remaining != float("inf"):
+            draw = min(draw, int(remaining))
+        return draw
+
+    def reset(self) -> None:
+        """Clear cumulative arrival counters for a fresh run."""
+        self.benign_arrived = 0
+        self.bots_arrived = 0

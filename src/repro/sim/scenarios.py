@@ -1,0 +1,99 @@
+"""Canned paper scenarios (Section VI-A / Figures 8-10, headline claim).
+
+Each factory returns the :class:`~repro.sim.shuffle_sim.ShuffleScenario`
+grid corresponding to one paper figure, so experiment drivers, benchmarks
+and tests all share a single source of truth for the parameters.
+"""
+
+from __future__ import annotations
+
+from .shuffle_sim import ShuffleScenario
+
+__all__ = [
+    "FIG8_BOT_COUNTS",
+    "FIG8_BENIGN_COUNTS",
+    "FIG9_REPLICA_COUNTS",
+    "fig8_scenarios",
+    "fig9_scenarios",
+    "fig10_scenarios",
+    "headline_scenario",
+]
+
+# Figure 8 x-axis: persistent bots 1..10 x 10^4.
+FIG8_BOT_COUNTS: tuple[int, ...] = tuple(
+    10_000 * k for k in range(1, 11)
+)
+# Both benign populations the paper sweeps.
+FIG8_BENIGN_COUNTS: tuple[int, ...] = (10_000, 50_000)
+# Figure 9 x-axis: shuffling replicas 9..20 x 10^2.
+FIG9_REPLICA_COUNTS: tuple[int, ...] = tuple(
+    100 * k for k in range(9, 21)
+)
+
+
+def fig8_scenarios(
+    bot_counts: tuple[int, ...] = FIG8_BOT_COUNTS,
+    benign_counts: tuple[int, ...] = FIG8_BENIGN_COUNTS,
+    targets: tuple[float, ...] = (0.8, 0.95),
+) -> list[ShuffleScenario]:
+    """Grid for Figure 8: P=1000 replicas, varying bots / benign / target."""
+    return [
+        ShuffleScenario(
+            benign=benign,
+            bots=bots,
+            n_replicas=1000,
+            target_fraction=target,
+        )
+        for benign in benign_counts
+        for target in targets
+        for bots in bot_counts
+    ]
+
+
+def fig9_scenarios(
+    replica_counts: tuple[int, ...] = FIG9_REPLICA_COUNTS,
+    benign_counts: tuple[int, ...] = FIG8_BENIGN_COUNTS,
+    targets: tuple[float, ...] = (0.8, 0.95),
+) -> list[ShuffleScenario]:
+    """Grid for Figure 9: 10^5 bots, varying replica count."""
+    return [
+        ShuffleScenario(
+            benign=benign,
+            bots=100_000,
+            n_replicas=replicas,
+            target_fraction=target,
+        )
+        for benign in benign_counts
+        for target in targets
+        for replicas in replica_counts
+    ]
+
+
+def fig10_scenarios(
+    benign_counts: tuple[int, ...] = FIG8_BENIGN_COUNTS,
+) -> list[ShuffleScenario]:
+    """Figure 10: cumulative saving trajectory, 10^5 bots, P=1000.
+
+    The runs continue to a 95% target so the full cumulative curve up to
+    the paper's last plotted point is available.
+    """
+    return [
+        ShuffleScenario(
+            benign=benign,
+            bots=100_000,
+            n_replicas=1000,
+            target_fraction=0.95,
+        )
+        for benign in benign_counts
+    ]
+
+
+def headline_scenario() -> ShuffleScenario:
+    """The abstract's headline claim: save 80% of 50K benign clients from a
+    100K-bot attack with 1000 shuffling replicas in roughly 60 shuffles."""
+    return ShuffleScenario(
+        benign=50_000,
+        bots=100_000,
+        n_replicas=1000,
+        target_fraction=0.8,
+    )

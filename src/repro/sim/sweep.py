@@ -1,0 +1,88 @@
+"""Generic scenario sweeps with CSV export.
+
+The figure drivers hand-roll their grids; this utility generalizes the
+pattern for users exploring their own parameter spaces:
+
+    from repro.sim import ShuffleScenario
+    from repro.sim.sweep import sweep, to_csv
+
+    grid = [
+        ShuffleScenario(benign=10_000, bots=bots, n_replicas=p)
+        for bots in (20_000, 50_000)
+        for p in (500, 1_000)
+    ]
+    records = sweep(grid, repetitions=5)
+    print(to_csv(records))
+
+Each record is a flat dict (scenario parameters + outcome statistics), so
+the output drops straight into a spreadsheet or pandas.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Sequence
+
+from .shuffle_sim import ScenarioResult, ShuffleScenario, run_scenario
+
+__all__ = ["sweep", "record_from_result", "to_csv"]
+
+
+def record_from_result(result: ScenarioResult) -> dict[str, object]:
+    """Flatten one scenario outcome into a spreadsheet row."""
+    scenario = result.scenario
+    return {
+        "benign": scenario.benign,
+        "bots": scenario.bots,
+        "n_replicas": scenario.n_replicas,
+        "target_fraction": scenario.target_fraction,
+        "planner": scenario.planner,
+        "estimator": scenario.estimator,
+        "preload_bots": scenario.preload_bots,
+        "repetitions": result.shuffles.n,
+        "shuffles_mean": result.shuffles.mean,
+        "shuffles_ci": result.shuffles.half_width,
+        "saved_fraction_mean": result.saved_fraction.mean,
+        "saved_fraction_ci": result.saved_fraction.half_width,
+        "all_reached_target": all(
+            run.reached_target for run in result.runs
+        ),
+    }
+
+
+def sweep(
+    scenarios: Sequence[ShuffleScenario],
+    repetitions: int = 5,
+    seed: int = 0,
+    confidence: float = 0.99,
+) -> list[dict[str, object]]:
+    """Run every scenario and return one flat record per scenario.
+
+    Scenarios are seeded independently but deterministically (base seed +
+    index), so the sweep is reproducible and individual cells can be
+    re-run in isolation.
+    """
+    records = []
+    for index, scenario in enumerate(scenarios):
+        result = run_scenario(
+            scenario,
+            repetitions=repetitions,
+            seed=seed + index,
+            confidence=confidence,
+        )
+        records.append(record_from_result(result))
+    return records
+
+
+def to_csv(records: Sequence[dict[str, object]]) -> str:
+    """Render sweep records as CSV (header from the first record)."""
+    if not records:
+        return ""
+    import csv
+
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=list(records[0].keys()))
+    writer.writeheader()
+    for record in records:
+        writer.writerow(record)
+    return buffer.getvalue()

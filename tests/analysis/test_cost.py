@@ -1,0 +1,83 @@
+"""Tests for the cloud-cost model and the shuffling-vs-expansion claim."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.cost import (
+    CostModel,
+    compare_costs,
+    expansion_cost,
+    shuffling_cost,
+)
+from repro.core.expansion import ExpansionPlan
+
+
+class TestShufflingCost:
+    def test_fields(self):
+        cost = shuffling_cost(n_replicas=1000, n_shuffles=60)
+        assert cost.strategy == "shuffling"
+        assert cost.peak_instances == 2000
+        assert cost.launches == 1000 * 61
+        assert cost.instance_hours > 0
+        assert cost.dollars > 0
+
+    def test_steady_replicas_add_to_peak(self):
+        base = shuffling_cost(100, 10)
+        with_steady = shuffling_cost(100, 10, steady_replicas=50)
+        assert with_steady.peak_instances == base.peak_instances + 50
+
+    def test_more_shuffles_cost_more(self):
+        cheap = shuffling_cost(1000, 30)
+        pricey = shuffling_cost(1000, 120)
+        assert pricey.dollars > cheap.dollars
+
+
+class TestExpansionCost:
+    def test_scales_with_duration(self):
+        plan = ExpansionPlan.solve(10_000, 1_000, 0.8)
+        short = expansion_cost(plan, attack_duration_hours=1.0)
+        long = expansion_cost(plan, attack_duration_hours=24.0)
+        assert long.instance_hours == pytest.approx(
+            24 * short.instance_hours
+        )
+
+    def test_describe(self):
+        plan = ExpansionPlan.solve(1_000, 100, 0.8)
+        text = expansion_cost(plan, 6.0).describe()
+        assert "expansion" in text
+        assert "instance-hours" in text
+
+
+class TestPaperResourceClaim:
+    def test_shuffling_uses_fewer_resources_than_expansion(self):
+        """Intro: shuffling "enables effective attack containment using
+        fewer resources than attack dilution strategies using pure server
+        expansion" — at the headline scale."""
+        shuffling, expansion = compare_costs(
+            benign=50_000,
+            bots=100_000,
+            target_fraction=0.8,
+            shuffles_needed=67,
+            n_replicas=1000,
+        )
+        # Expansion must run a replica for nearly every client
+        # concurrently (~127K); shuffling peaks at 2x its 1000-pool.
+        assert expansion.peak_instances > 30 * shuffling.peak_instances
+        assert expansion.dollars > 10 * shuffling.dollars
+        assert expansion.instance_hours > 100 * shuffling.instance_hours
+
+    def test_claim_holds_across_price_assumptions(self):
+        for model in (
+            CostModel(instance_hour=0.01, launch=0.10),
+            CostModel(instance_hour=1.00, launch=0.001),
+        ):
+            shuffling, expansion = compare_costs(
+                benign=10_000,
+                bots=20_000,
+                target_fraction=0.8,
+                shuffles_needed=50,
+                n_replicas=500,
+                model=model,
+            )
+            assert expansion.dollars > shuffling.dollars

@@ -1,0 +1,86 @@
+"""Tests for the paper reference series and shape helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.series import (
+    PAPER_FIG3_SAVED_FRACTION,
+    PAPER_FIG8_SHUFFLES,
+    PAPER_FIG9_SHUFFLES,
+    PAPER_FIG12_TOTAL_SECONDS,
+    growth_factor,
+    shape_correlation,
+)
+
+
+class TestReferenceData:
+    def test_fig3_reference_matches_closed_form(self):
+        """These anchors are analytic — recompute them from Equation 1."""
+        from repro.core.dp_fast import dp_fast_value
+
+        for (replicas, bots), fraction in PAPER_FIG3_SAVED_FRACTION.items():
+            value = dp_fast_value(1000, bots, replicas) / (1000 - bots)
+            assert value == pytest.approx(fraction, abs=0.002)
+
+    def test_fig8_reference_internally_consistent(self):
+        # More bots, more benign, higher target => more shuffles.
+        ref = PAPER_FIG8_SHUFFLES
+        assert ref[(50_000, 0.8, 100_000)] > ref[(50_000, 0.8, 10_000)]
+        assert ref[(50_000, 0.95, 100_000)] > ref[(50_000, 0.8, 100_000)]
+        assert ref[(50_000, 0.8, 100_000)] > ref[(10_000, 0.8, 100_000)]
+
+    def test_fig9_reference_monotone(self):
+        ref = PAPER_FIG9_SHUFFLES
+        for benign in (10_000, 50_000):
+            for target in (0.8, 0.95):
+                assert ref[(benign, target, 900)] > ref[(benign, target,
+                                                         2000)]
+
+    def test_fig12_reference_monotone_and_under_5s(self):
+        values = [PAPER_FIG12_TOTAL_SECONDS[n] for n in sorted(
+            PAPER_FIG12_TOTAL_SECONDS)]
+        assert values == sorted(values)
+        assert values[-1] < 5.0
+
+
+class TestShapeCorrelation:
+    def test_perfect_match(self):
+        assert shape_correlation([1, 2, 3], [10, 20, 30]) == pytest.approx(
+            1.0
+        )
+
+    def test_inverted(self):
+        assert shape_correlation([1, 2, 3], [9, 5, 1]) == pytest.approx(
+            -1.0
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            shape_correlation([1, 2], [1, 2])
+        with pytest.raises(ValueError):
+            shape_correlation([1, 2, 3], [1, 2])
+        with pytest.raises(ValueError):
+            shape_correlation([1, 1, 1], [1, 2, 3])
+
+    def test_measured_fig12_tracks_paper(self):
+        """Cross-module: our Figure 12 curve ranks exactly like the
+        paper's."""
+        from repro.experiments.fig12 import run_fig12
+
+        counts = tuple(sorted(PAPER_FIG12_TOTAL_SECONDS))
+        rows = run_fig12(client_counts=counts, repetitions=5, seed=1)
+        paper = [PAPER_FIG12_TOTAL_SECONDS[n] for n in counts]
+        measured = [row.total_time.mean for row in rows]
+        assert shape_correlation(paper, measured) == pytest.approx(1.0)
+
+
+class TestGrowthFactor:
+    def test_value(self):
+        assert growth_factor([10, 15, 30]) == pytest.approx(3.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            growth_factor([10])
+        with pytest.raises(ValueError):
+            growth_factor([0, 10])

@@ -1,0 +1,107 @@
+"""Tests for botnet hit-list management and flooding."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloudsim.botnet import Botnet
+from repro.cloudsim.network import Endpoint
+from repro.cloudsim.replica import ReplicaServer
+from repro.cloudsim.system import CloudConfig, CloudContext
+
+
+@pytest.fixture
+def ctx():
+    return CloudContext(CloudConfig(), seed=0)
+
+
+def make_replica(ctx, name):
+    replica = ReplicaServer(ctx, Endpoint("cloud-0", name), 1000.0, 100.0)
+    replica.activate()
+    ctx.register_replica(replica)
+    return replica
+
+
+class TestHitList:
+    def test_reveal_respects_propagation_delay(self, ctx):
+        botnet = Botnet(ctx, naive_pps=100.0, propagation_delay=5.0)
+        botnet.reveal("replica-x")
+        assert botnet.targets() == []  # not propagated yet
+        ctx.sim.run_until(6.0)
+        assert botnet.targets() == ["replica-x"]
+
+    def test_duplicate_reveals_are_idempotent(self, ctx):
+        botnet = Botnet(ctx, naive_pps=100.0, propagation_delay=0.0)
+        botnet.reveal("replica-x")
+        first_entry = botnet.hit_list["replica-x"]
+        botnet.reveal("replica-x")
+        assert botnet.hit_list["replica-x"] is first_entry
+        assert botnet.reveals == 2
+
+    def test_forget(self, ctx):
+        botnet = Botnet(ctx, naive_pps=100.0)
+        botnet.reveal("replica-x")
+        botnet.forget("replica-x")
+        assert botnet.hit_list == {}
+
+
+class TestFlooding:
+    def test_flood_reaches_active_replica(self, ctx):
+        replica = make_replica(ctx, "replica-x")
+        botnet = Botnet(ctx, naive_pps=1000.0, propagation_delay=0.0)
+        botnet.reveal("replica-x")
+        botnet.start()
+        ctx.sim.run_until(5.0)
+        assert replica.stats.flood_packets > 0
+        assert botnet.packets_effective > 0
+        assert botnet.packets_wasted == 0
+
+    def test_flood_to_retired_replica_is_wasted(self, ctx):
+        replica = make_replica(ctx, "replica-x")
+        botnet = Botnet(ctx, naive_pps=1000.0, propagation_delay=0.0,
+                        prune_delay=1e9)
+        botnet.reveal("replica-x")
+        replica.retire()
+        botnet.start()
+        ctx.sim.run_until(5.0)
+        assert botnet.packets_wasted > 0
+        assert botnet.packets_effective == 0
+        assert botnet.waste_ratio == 1.0
+
+    def test_flood_splits_across_targets(self, ctx):
+        first = make_replica(ctx, "replica-a")
+        second = make_replica(ctx, "replica-b")
+        botnet = Botnet(ctx, naive_pps=1000.0, propagation_delay=0.0)
+        botnet.reveal("replica-a")
+        botnet.reveal("replica-b")
+        botnet.start()
+        ctx.sim.run_until(4.0)
+        assert first.stats.flood_packets == pytest.approx(
+            second.stats.flood_packets
+        )
+
+    def test_prune_drops_dead_targets(self, ctx):
+        replica = make_replica(ctx, "replica-x")
+        botnet = Botnet(ctx, naive_pps=1000.0, propagation_delay=0.0,
+                        prune_delay=3.0)
+        botnet.reveal("replica-x")
+        botnet.start()
+        ctx.sim.run_until(1.0)
+        replica.retire()
+        ctx.sim.run_until(10.0)
+        assert "replica-x" not in botnet.hit_list
+
+    def test_stop_halts_flooding(self, ctx):
+        replica = make_replica(ctx, "replica-x")
+        botnet = Botnet(ctx, naive_pps=1000.0, propagation_delay=0.0)
+        botnet.reveal("replica-x")
+        botnet.start()
+        ctx.sim.run_until(2.0)
+        level = replica.stats.flood_packets
+        botnet.stop()
+        ctx.sim.run_until(10.0)
+        assert replica.stats.flood_packets == level
+
+    def test_waste_ratio_no_traffic(self, ctx):
+        botnet = Botnet(ctx, naive_pps=1000.0)
+        assert botnet.waste_ratio == 0.0

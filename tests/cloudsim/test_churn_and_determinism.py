@@ -1,0 +1,59 @@
+"""Tests for benign churn and whole-simulation determinism."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloudsim.system import CloudConfig, CloudDefenseSystem
+
+
+class TestChurn:
+    def test_churn_populates_and_departs(self):
+        system = CloudDefenseSystem(seed=51)
+        system.enable_churn(arrival_rate=2.0, mean_session=20.0)
+        system.run(duration=60.0)
+        arrived = len(system.benign)
+        assert arrived > 60  # ~120 expected
+        active = sum(1 for client in system.benign if client.active)
+        departed = arrived - active
+        assert departed > 0
+        # Departed clients are evicted from whitelists.
+        for client in system.benign:
+            if client.active or client.replica_endpoint is not None:
+                continue
+            for replica in system.ctx.all_replicas():
+                assert client.client_id not in replica.whitelist
+
+    def test_churn_under_attack_still_recovers(self):
+        system = CloudDefenseSystem(seed=52)
+        system.add_benign_clients(40)
+        system.add_persistent_bots(6)
+        system.enable_churn(arrival_rate=1.0, mean_session=60.0)
+        report = system.run(duration=150.0)
+        assert report.shuffles >= 1
+        assert report.benign_success_last_quarter > 0.85
+
+    def test_validation(self):
+        system = CloudDefenseSystem(seed=53)
+        with pytest.raises(ValueError):
+            system.enable_churn(arrival_rate=0.0)
+
+
+class TestDeterminism:
+    def run_once(self, seed: int):
+        system = CloudDefenseSystem(CloudConfig(), seed=seed)
+        system.add_benign_clients(50)
+        system.add_persistent_bots(5)
+        report = system.run(duration=90.0)
+        return (
+            report.shuffles,
+            report.benign_success_overall,
+            report.replicas_recycled,
+            system.ctx.sim.events_processed,
+        )
+
+    def test_same_seed_identical_run(self):
+        assert self.run_once(77) == self.run_once(77)
+
+    def test_different_seed_differs(self):
+        assert self.run_once(77) != self.run_once(78)

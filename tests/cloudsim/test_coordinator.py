@@ -1,0 +1,142 @@
+"""Tests for the coordination server's detection and shuffle pipeline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloudsim.clients import BenignClient
+from repro.cloudsim.loadbalancer import LoadBalancer
+from repro.cloudsim.replica import ReplicaState
+from repro.cloudsim.system import CloudConfig, CloudContext
+
+
+@pytest.fixture
+def ctx():
+    config = CloudConfig(
+        boot_delay=1.0,
+        detection_interval=0.5,
+        migration_grace=2.0,
+        shuffle_replicas=4,
+    )
+    context = CloudContext(config, seed=0)
+    for domain in context.domains:
+        balancer = LoadBalancer(context, domain)
+        context.balancers[domain] = balancer
+        context.dns.register(balancer)
+    return context
+
+
+def add_clients(ctx, replica, count, prefix="c"):
+    clients = []
+    for index in range(count):
+        client = BenignClient(ctx, f"{prefix}{index}")
+        client.replica_endpoint = replica.endpoint
+        replica.admit(client.client_id, client)
+        clients.append(client)
+    return clients
+
+
+class TestProvisioning:
+    def test_new_replica_boots_after_delay(self, ctx):
+        replica = ctx.coordinator.new_replica("cloud-0")
+        assert not replica.is_active
+        ctx.sim.run_until(2.0)
+        assert replica.is_active
+
+    def test_activate_now(self, ctx):
+        replica = ctx.coordinator.new_replica("cloud-0", activate_now=True)
+        assert replica.is_active
+
+    def test_unique_addresses(self, ctx):
+        first = ctx.coordinator.new_replica("cloud-0", activate_now=True)
+        second = ctx.coordinator.new_replica("cloud-0", activate_now=True)
+        assert first.endpoint.address != second.endpoint.address
+
+    def test_registered_with_balancer(self, ctx):
+        replica = ctx.coordinator.new_replica("cloud-0", activate_now=True)
+        assert replica in ctx.balancers["cloud-0"].active_replicas()
+
+
+class TestDetection:
+    def test_overloaded_replica_detected(self, ctx):
+        replica = ctx.coordinator.new_replica("cloud-0", activate_now=True)
+        replica.receive_flood(1_000_000)
+        assert ctx.coordinator.attacked_replicas() == [replica]
+
+    def test_quiet_replica_not_detected(self, ctx):
+        ctx.coordinator.new_replica("cloud-0", activate_now=True)
+        assert ctx.coordinator.attacked_replicas() == []
+
+
+class TestShuffleOperation:
+    def test_full_shuffle_pipeline(self, ctx):
+        victim = ctx.coordinator.new_replica("cloud-0", activate_now=True)
+        clients = add_clients(ctx, victim, 12)
+        victim.receive_flood(1_000_000)
+        ctx.coordinator.start_monitoring()
+        ctx.sim.run_until(30.0)
+
+        # One shuffle happened, the victim was retired, and every client
+        # now points at a fresh, active replica that whitelists it.
+        assert ctx.coordinator.shuffle_count >= 1
+        assert victim.state is ReplicaState.RETIRED
+        record = ctx.coordinator.shuffles[0]
+        assert record.n_clients == 12
+        assert sum(record.group_sizes) == 12
+        assert record.completed_at is not None
+        assert record.completed_at > record.started_at
+        for client in clients:
+            assert client.replica_endpoint is not None
+            assert client.replica_endpoint.address != victim.endpoint.address
+            new_replica = ctx.replica_at(client.replica_endpoint)
+            assert new_replica.is_active
+            assert client.client_id in new_replica.whitelist
+            assert client.stats.migrations >= 1
+
+    def test_unattacked_replicas_not_shuffled(self, ctx):
+        victim = ctx.coordinator.new_replica("cloud-0", activate_now=True)
+        bystander = ctx.coordinator.new_replica("cloud-1", activate_now=True)
+        add_clients(ctx, victim, 6, prefix="v")
+        safe_clients = add_clients(ctx, bystander, 6, prefix="s")
+        victim.receive_flood(1_000_000)
+        ctx.coordinator.start_monitoring()
+        ctx.sim.run_until(30.0)
+        assert bystander.is_active
+        for client in safe_clients:
+            assert client.replica_endpoint == bystander.endpoint
+            assert client.stats.migrations == 0
+
+    def test_empty_attacked_replica_just_replaced(self, ctx):
+        victim = ctx.coordinator.new_replica("cloud-0", activate_now=True)
+        victim.receive_flood(1_000_000)
+        ctx.coordinator.start_monitoring()
+        ctx.sim.run_until(10.0)
+        assert victim.state is ReplicaState.RETIRED
+        assert ctx.coordinator.shuffle_count >= 1
+        assert ctx.coordinator.shuffles[0].n_clients == 0
+
+    def test_shuffle_replica_cap(self, ctx):
+        victim = ctx.coordinator.new_replica("cloud-0", activate_now=True)
+        add_clients(ctx, victim, 2)  # fewer clients than shuffle_replicas=4
+        victim.receive_flood(1_000_000)
+        ctx.coordinator.start_monitoring()
+        ctx.sim.run_until(20.0)
+        record = ctx.coordinator.shuffles[0]
+        assert len(record.new_replicas) == 2  # capped at client count
+
+    def test_estimates_recorded(self, ctx):
+        victim = ctx.coordinator.new_replica("cloud-0", activate_now=True)
+        add_clients(ctx, victim, 8)
+        victim.receive_flood(1_000_000)
+        ctx.coordinator.start_monitoring()
+        ctx.sim.run_until(20.0)
+        record = ctx.coordinator.shuffles[0]
+        assert 1 <= record.estimated_bots <= 8
+
+    def test_monitoring_stop(self, ctx):
+        victim = ctx.coordinator.new_replica("cloud-0", activate_now=True)
+        ctx.coordinator.start_monitoring()
+        ctx.coordinator.stop_monitoring()
+        victim.receive_flood(1_000_000)
+        ctx.sim.run_until(10.0)
+        assert ctx.coordinator.shuffle_count == 0

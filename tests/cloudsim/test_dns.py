@@ -1,0 +1,52 @@
+"""Tests for the DNS front door."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloudsim.dns import DnsServer
+from repro.cloudsim.loadbalancer import LoadBalancer
+from repro.cloudsim.system import CloudConfig, CloudContext
+
+
+@pytest.fixture
+def ctx():
+    return CloudContext(CloudConfig(), seed=0)
+
+
+class TestDns:
+    def test_round_robin_over_balancers(self, ctx):
+        dns = DnsServer("svc.example")
+        balancers = [LoadBalancer(ctx, f"cloud-{i}") for i in range(3)]
+        for balancer in balancers:
+            dns.register(balancer)
+        endpoints = [dns.resolve("svc.example") for _ in range(6)]
+        assert endpoints[:3] == [b.endpoint for b in balancers]
+        assert endpoints[3:] == [b.endpoint for b in balancers]
+        assert dns.queries == 6
+
+    def test_unknown_name(self, ctx):
+        dns = DnsServer("svc.example")
+        dns.register(LoadBalancer(ctx, "cloud-0"))
+        with pytest.raises(KeyError):
+            dns.resolve("evil.example")
+
+    def test_no_balancers(self):
+        dns = DnsServer()
+        with pytest.raises(RuntimeError):
+            dns.resolve(dns.service_name)
+
+    def test_balancer_for(self, ctx):
+        dns = DnsServer("svc.example")
+        balancer = LoadBalancer(ctx, "cloud-0")
+        dns.register(balancer)
+        endpoint = dns.resolve("svc.example")
+        assert dns.balancer_for(endpoint) is balancer
+
+    def test_balancer_for_unknown(self, ctx):
+        dns = DnsServer("svc.example")
+        dns.register(LoadBalancer(ctx, "cloud-0"))
+        from repro.cloudsim.network import Endpoint
+
+        with pytest.raises(KeyError):
+            dns.balancer_for(Endpoint("cloud-9", "nothing"))

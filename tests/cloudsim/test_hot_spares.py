@@ -1,0 +1,106 @@
+"""Tests for hot-spare replicas (paper Section III-C)."""
+
+from __future__ import annotations
+
+from repro.cloudsim.clients import BenignClient
+from repro.cloudsim.loadbalancer import LoadBalancer
+from repro.cloudsim.system import CloudConfig, CloudContext
+
+
+def make_ctx(**overrides):
+    config = CloudConfig(
+        boot_delay=5.0,
+        detection_interval=0.5,
+        migration_grace=1.0,
+        shuffle_replicas=3,
+        **overrides,
+    )
+    ctx = CloudContext(config, seed=41)
+    for domain in ctx.domains:
+        balancer = LoadBalancer(ctx, domain)
+        ctx.balancers[domain] = balancer
+        ctx.dns.register(balancer)
+    return ctx
+
+
+def attack_with_clients(ctx, n_clients=6):
+    victim = ctx.coordinator.new_replica("cloud-0", activate_now=True)
+    for index in range(n_clients):
+        client = BenignClient(ctx, f"c{index}")
+        client.replica_endpoint = victim.endpoint
+        victim.admit(client.client_id, client)
+    victim.receive_flood(1_000_000)
+    return victim
+
+
+class TestProvisioning:
+    def test_spares_boot_hidden(self):
+        ctx = make_ctx()
+        ctx.coordinator.provision_spares(3)
+        assert ctx.coordinator.spare_count == 3
+        ctx.sim.run_until(6.0)
+        # Booted, tracked, but not advertised to any load balancer.
+        for balancer in ctx.balancers.values():
+            assert balancer.active_replicas() == []
+
+    def test_claim_returns_none_before_boot(self):
+        ctx = make_ctx()
+        ctx.coordinator.provision_spares(2)
+        assert ctx.coordinator._claim_spare() is None  # still booting
+
+    def test_claim_registers_with_balancer(self):
+        ctx = make_ctx()
+        ctx.coordinator.provision_spares(1)
+        ctx.sim.run_until(6.0)
+        replica = ctx.coordinator._claim_spare()
+        assert replica is not None
+        balancer = ctx.balancers[replica.endpoint.domain]
+        assert replica in balancer.active_replicas()
+        assert ctx.coordinator.spare_count == 0
+
+
+class TestShuffleLatency:
+    def test_spares_remove_boot_delay_from_shuffle(self):
+        # Without spares the shuffle waits out boot_delay=5 s.
+        cold_ctx = make_ctx()
+        attack_with_clients(cold_ctx)
+        cold_ctx.coordinator.start_monitoring()
+        cold_ctx.sim.run_until(40.0)
+        cold = cold_ctx.coordinator.shuffles[0]
+        cold_latency = cold.completed_at - cold.started_at
+
+        # With pre-booted spares the replacement set is ready instantly.
+        hot_ctx = make_ctx(hot_spares=4)
+        hot_ctx.coordinator.provision_spares(4)
+        hot_ctx.sim.run_until(6.0)  # let the spares boot before the attack
+        attack_with_clients(hot_ctx)
+        hot_ctx.coordinator.start_monitoring()
+        hot_ctx.sim.run_until(46.0)
+        hot = hot_ctx.coordinator.shuffles[0]
+        hot_latency = hot.completed_at - hot.started_at
+
+        assert hot_latency < cold_latency - 3.0  # the 5 s boot vanished
+
+    def test_spares_replenished_after_shuffle(self):
+        ctx = make_ctx(hot_spares=3)
+        ctx.coordinator.provision_spares(3)
+        ctx.sim.run_until(6.0)
+        attack_with_clients(ctx)
+        ctx.coordinator.start_monitoring()
+        ctx.sim.run_until(40.0)
+        assert ctx.coordinator.shuffle_count >= 1
+        assert ctx.coordinator.spare_count == 3
+
+    def test_partial_spares_mix_with_boots(self):
+        ctx = make_ctx(hot_spares=1)
+        ctx.coordinator.provision_spares(1)
+        ctx.sim.run_until(6.0)
+        attack_with_clients(ctx, n_clients=9)
+        ctx.coordinator.start_monitoring()
+        ctx.sim.run_until(40.0)
+        record = ctx.coordinator.shuffles[0]
+        # shuffle_replicas=3: one spare claimed + two fresh boots.
+        assert len(record.new_replicas) == 3
+        for address in record.new_replicas:
+            replica = ctx.replica_by_address(address)
+            assert replica.is_active

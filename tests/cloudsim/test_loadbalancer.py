@@ -1,0 +1,123 @@
+"""Tests for the redirecting load balancer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloudsim.loadbalancer import LoadBalancer
+from repro.cloudsim.network import Endpoint
+from repro.cloudsim.replica import ReplicaServer
+from repro.cloudsim.system import CloudConfig, CloudContext
+
+
+@pytest.fixture
+def ctx():
+    return CloudContext(CloudConfig(assignment_memory=100.0), seed=0)
+
+
+@pytest.fixture
+def balancer(ctx):
+    return LoadBalancer(ctx, "cloud-0")
+
+
+def make_replica(ctx, name, domain="cloud-0"):
+    replica = ReplicaServer(ctx, Endpoint(domain, name), 1000.0, 100.0)
+    replica.activate()
+    return replica
+
+
+class TestRegistry:
+    def test_register_and_deregister(self, ctx, balancer):
+        replica = make_replica(ctx, "r1")
+        balancer.register_replica(replica)
+        assert balancer.active_replicas() == [replica]
+        balancer.deregister_replica("r1")
+        assert balancer.active_replicas() == []
+
+    def test_wrong_domain_rejected(self, ctx, balancer):
+        replica = make_replica(ctx, "r1", domain="cloud-1")
+        with pytest.raises(ValueError, match="domain"):
+            balancer.register_replica(replica)
+
+    def test_inactive_replicas_excluded(self, ctx, balancer):
+        replica = make_replica(ctx, "r1")
+        balancer.register_replica(replica)
+        replica.retire()
+        assert balancer.active_replicas() == []
+
+
+class TestAssignment:
+    def test_no_replicas_returns_none(self, balancer):
+        assert balancer.assign("c1", object()) is None
+
+    def test_assignment_whitelists_client(self, ctx, balancer):
+        replica = make_replica(ctx, "r1")
+        balancer.register_replica(replica)
+        target = balancer.assign("c1", object())
+        assert target == replica.endpoint
+        assert "c1" in replica.whitelist
+
+    def test_sticky_sessions(self, ctx, balancer):
+        for name in ("r1", "r2", "r3"):
+            balancer.register_replica(make_replica(ctx, name))
+        first = balancer.assign("c1", object())
+        for _ in range(5):
+            assert balancer.assign("c1", object()) == first
+
+    def test_least_loaded_spread(self, ctx, balancer):
+        replicas = [make_replica(ctx, f"r{i}") for i in range(3)]
+        for replica in replicas:
+            balancer.register_replica(replica)
+        for index in range(9):
+            balancer.assign(f"c{index}", object())
+        counts = sorted(r.n_clients for r in replicas)
+        assert counts == [3, 3, 3]
+
+    def test_reentry_pinned_within_memory(self, ctx, balancer):
+        """Section VII: bots cannot reshuffle themselves by re-entering."""
+        replicas = [make_replica(ctx, f"r{i}") for i in range(4)]
+        for replica in replicas:
+            balancer.register_replica(replica)
+        first = balancer.assign("bot", object())
+        # The bot "leaves" and re-enters shortly after.
+        ctx.sim.run_until(10.0)
+        again = balancer.assign("bot", object())
+        assert again == first
+
+    def test_memory_expires(self, ctx, balancer):
+        replicas = [make_replica(ctx, f"r{i}") for i in range(2)]
+        for replica in replicas:
+            balancer.register_replica(replica)
+        balancer.assign("c1", object())
+        ctx.sim.run_until(200.0)  # beyond assignment_memory=100
+        # Load the first replica so least-loaded picks differently.
+        for index in range(4):
+            balancer.assign(f"filler{index}", object())
+        target = balancer.assign("c1", object())
+        assert target is not None  # fresh assignment path taken
+
+    def test_pinned_replica_gone_falls_through(self, ctx, balancer):
+        replica = make_replica(ctx, "r1")
+        balancer.register_replica(replica)
+        balancer.assign("c1", object())
+        replica.retire()
+        balancer.deregister_replica("r1")
+        fresh = make_replica(ctx, "r2")
+        balancer.register_replica(fresh)
+        target = balancer.assign("c1", object())
+        assert target == fresh.endpoint
+
+    def test_record_shuffle_assignment_updates_memory(self, ctx, balancer):
+        r1, r2 = make_replica(ctx, "r1"), make_replica(ctx, "r2")
+        balancer.register_replica(r1)
+        balancer.register_replica(r2)
+        balancer.assign("c1", object())
+        balancer.record_shuffle_assignment("c1", r2)
+        assert balancer.assign("c1", object()) == r2.endpoint
+
+    def test_forget(self, ctx, balancer):
+        replica = make_replica(ctx, "r1")
+        balancer.register_replica(replica)
+        balancer.assign("c1", object())
+        balancer.forget("c1")
+        assert "c1" not in balancer.assignments

@@ -1,0 +1,78 @@
+"""Tests for the Figure 12 migration-latency emulation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cloudsim.migration import (
+    MigrationModel,
+    PAGE_BYTES,
+    simulate_migration,
+)
+
+
+class TestModelBasics:
+    def test_page_size_matches_prototype(self):
+        assert PAGE_BYTES == 246 * 1024
+
+    def test_sample_fields(self, rng):
+        model = MigrationModel()
+        sample = model.simulate_once(10, rng)
+        assert sample.n_clients == 10
+        assert len(sample.per_client_times) == 10
+        assert sample.total_time == max(sample.per_client_times)
+        assert sample.per_client_mean == pytest.approx(
+            np.mean(sample.per_client_times)
+        )
+
+    def test_total_at_least_mean(self, rng):
+        model = MigrationModel()
+        for n in (1, 5, 30):
+            sample = model.simulate_once(n, rng)
+            assert sample.total_time >= sample.per_client_mean
+
+    def test_invalid_client_count(self, rng):
+        with pytest.raises(ValueError):
+            MigrationModel().simulate_once(0, rng)
+
+    def test_transfer_time_positive_and_rtt_sensitive(self, rng):
+        model = MigrationModel(bandwidth_sigma=0.01)
+        fast = np.mean([model.transfer_time(rng, 0.01) for _ in range(200)])
+        slow = np.mean([model.transfer_time(rng, 0.30) for _ in range(200)])
+        assert 0 < fast < slow
+
+
+class TestFigure12Shape:
+    def test_total_time_grows_with_clients(self):
+        means = []
+        for n in (10, 30, 60):
+            samples = simulate_migration(n, repetitions=10, seed=3)
+            means.append(np.mean([s.total_time for s in samples]))
+        assert means[0] < means[1] < means[2]
+
+    def test_per_client_grows_slower_than_total(self):
+        small = simulate_migration(10, repetitions=10, seed=4)
+        large = simulate_migration(60, repetitions=10, seed=4)
+        total_growth = np.mean(
+            [s.total_time for s in large]
+        ) / np.mean([s.total_time for s in small])
+        per_client_growth = np.mean(
+            [s.per_client_mean for s in large]
+        ) / np.mean([s.per_client_mean for s in small])
+        assert per_client_growth < total_growth
+
+    def test_paper_calibration_ranges(self):
+        """The paper's headline numbers: 60 clients < 5 s, mean 1-2.5 s."""
+        samples = simulate_migration(60, repetitions=15, seed=5)
+        total = np.mean([s.total_time for s in samples])
+        per_client = np.mean([s.per_client_mean for s in samples])
+        assert total < 5.0
+        assert 1.0 <= per_client <= 2.5
+
+    def test_reproducible_given_seed(self):
+        first = simulate_migration(20, repetitions=3, seed=9)
+        second = simulate_migration(20, repetitions=3, seed=9)
+        assert [s.total_time for s in first] == [
+            s.total_time for s in second
+        ]

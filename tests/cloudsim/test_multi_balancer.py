@@ -1,0 +1,77 @@
+"""Tests for multiple load balancers per cloud domain (§III-B)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloudsim.loadbalancer import DomainDirectory, LoadBalancer
+from repro.cloudsim.system import CloudConfig, CloudContext, CloudDefenseSystem
+
+
+class TestDirectorySharing:
+    def test_codomain_balancers_share_state(self):
+        ctx = CloudContext(CloudConfig(), seed=81)
+        first = LoadBalancer(ctx, "cloud-0", index=0)
+        second = LoadBalancer(
+            ctx, "cloud-0", index=1, directory=first.directory
+        )
+        replica = ctx.coordinator.new_replica("cloud-0", activate_now=True)
+        first.register_replica(replica)
+        # The second frontend sees the replica without registering it.
+        assert second.active_replicas() == [replica]
+        # And sticky memory written through one is read through the other.
+        target = first.assign("c1", object())
+        assert second.assign("c1", object()) == target
+
+    def test_distinct_endpoints(self):
+        ctx = CloudContext(CloudConfig(), seed=82)
+        directory = DomainDirectory("cloud-0")
+        frontends = [
+            LoadBalancer(ctx, "cloud-0", index=i, directory=directory)
+            for i in range(3)
+        ]
+        addresses = {lb.endpoint.address for lb in frontends}
+        assert len(addresses) == 3
+
+
+class TestSystemWithMultipleBalancers:
+    def test_dns_spreads_over_all_frontends(self):
+        config = CloudConfig(n_domains=2, balancers_per_domain=3)
+        system = CloudDefenseSystem(config, seed=83)
+        system.build()
+        seen = {
+            system.ctx.dns.resolve(system.ctx.dns.service_name).address
+            for _ in range(12)
+        }
+        assert len(seen) == 6  # 2 domains x 3 frontends
+
+    def test_sticky_sessions_across_frontends(self):
+        """A client landing on a different frontend keeps its replica."""
+        config = CloudConfig(n_domains=1, balancers_per_domain=3,
+                             initial_replicas_per_domain=4)
+        system = CloudDefenseSystem(config, seed=84)
+        system.build()
+        frontends = system.ctx.domain_balancers["cloud-0"]
+        first = frontends[0].assign("client-x", object())
+        for other in frontends[1:]:
+            assert other.assign("client-x", object()) == first
+
+    def test_full_run_with_multiple_balancers(self):
+        config = CloudConfig(balancers_per_domain=2)
+        system = CloudDefenseSystem(config, seed=85)
+        system.add_benign_clients(50)
+        system.add_persistent_bots(5)
+        report = system.run(duration=120.0)
+        assert report.shuffles >= 1
+        assert report.benign_success_last_quarter > 0.9
+        # Every frontend handled some joins (round-robin DNS).
+        assigned = [
+            lb.clients_assigned
+            for frontends in system.ctx.domain_balancers.values()
+            for lb in frontends
+        ]
+        assert sum(1 for count in assigned if count > 0) >= 3
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CloudConfig(balancers_per_domain=0)

@@ -1,0 +1,76 @@
+"""Shuffles spanning multiple cloud domains."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloudsim.clients import BenignClient
+from repro.cloudsim.loadbalancer import LoadBalancer
+from repro.cloudsim.replica import ReplicaState
+from repro.cloudsim.system import CloudConfig, CloudContext
+
+
+@pytest.fixture
+def ctx():
+    config = CloudConfig(
+        n_domains=3,
+        boot_delay=1.0,
+        detection_interval=0.5,
+        migration_grace=2.0,
+        shuffle_replicas=6,
+    )
+    context = CloudContext(config, seed=91)
+    for domain in context.domains:
+        balancer = LoadBalancer(context, domain)
+        context.balancers[domain] = balancer
+        context.dns.register(balancer)
+    return context
+
+
+def victim_with_clients(ctx, domain, count, prefix):
+    victim = ctx.coordinator.new_replica(domain, activate_now=True)
+    for index in range(count):
+        client = BenignClient(ctx, f"{prefix}{index}")
+        client.replica_endpoint = victim.endpoint
+        victim.admit(client.client_id, client)
+    victim.receive_flood(1_000_000)
+    return victim
+
+
+class TestCrossDomainShuffle:
+    def test_simultaneous_attacks_shuffled_together(self, ctx):
+        """Replicas attacked in different domains join one shuffle set."""
+        first = victim_with_clients(ctx, "cloud-0", 5, "a")
+        second = victim_with_clients(ctx, "cloud-1", 5, "b")
+        ctx.coordinator.start_monitoring()
+        ctx.sim.run_until(30.0)
+        record = ctx.coordinator.shuffles[0]
+        assert set(record.attacked_replicas) == {
+            first.endpoint.address,
+            second.endpoint.address,
+        }
+        assert record.n_clients == 10
+        assert first.state is ReplicaState.RETIRED
+        assert second.state is ReplicaState.RETIRED
+
+    def test_replacements_spread_across_domains(self, ctx):
+        victim_with_clients(ctx, "cloud-0", 12, "c")
+        ctx.coordinator.start_monitoring()
+        ctx.sim.run_until(30.0)
+        record = ctx.coordinator.shuffles[0]
+        domains = {
+            ctx.replica_by_address(address).endpoint.domain
+            for address in record.new_replicas
+        }
+        # 6 replacement replicas over 3 domains: all domains used.
+        assert len(domains) == 3
+
+    def test_clients_may_change_domains(self, ctx):
+        victim = victim_with_clients(ctx, "cloud-0", 9, "d")
+        clients = list(victim.assigned_clients.values())
+        ctx.coordinator.start_monitoring()
+        ctx.sim.run_until(30.0)
+        landed_domains = {
+            client.replica_endpoint.domain for client in clients
+        }
+        assert len(landed_domains) >= 2  # migration crossed domains

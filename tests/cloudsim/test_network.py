@@ -1,0 +1,85 @@
+"""Tests for the latency model and load meters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cloudsim.network import Endpoint, LatencyModel, LoadMeter
+
+
+class TestEndpoint:
+    def test_same_domain(self):
+        a = Endpoint("cloud-0", "replica-1")
+        b = Endpoint("cloud-0", "replica-2")
+        c = Endpoint("cloud-1", "replica-3")
+        assert a.same_domain(b)
+        assert not a.same_domain(c)
+
+    def test_hashable_identity(self):
+        a = Endpoint("cloud-0", "replica-1")
+        assert a == Endpoint("cloud-0", "replica-1")
+        assert len({a, Endpoint("cloud-0", "replica-1")}) == 1
+
+
+class TestLatencyModel:
+    def test_positive_latencies(self, rng):
+        model = LatencyModel()
+        a = Endpoint("cloud-0", "x")
+        b = Endpoint("internet", "y")
+        for _ in range(100):
+            assert model.one_way(a, b, rng) > 0
+
+    def test_intra_domain_faster_than_inter(self, rng):
+        model = LatencyModel()
+        local = Endpoint("cloud-0", "x"), Endpoint("cloud-0", "y")
+        remote = Endpoint("cloud-0", "x"), Endpoint("internet", "y")
+        local_mean = np.mean(
+            [model.one_way(*local, rng) for _ in range(300)]
+        )
+        remote_mean = np.mean(
+            [model.one_way(*remote, rng) for _ in range(300)]
+        )
+        assert local_mean < remote_mean / 5
+
+    def test_round_trip_roughly_double(self, rng):
+        model = LatencyModel(sigma=0.01)
+        a, b = Endpoint("cloud-0", "x"), Endpoint("internet", "y")
+        one = np.mean([model.one_way(a, b, rng) for _ in range(500)])
+        rtts = np.mean([model.round_trip(a, b, rng) for _ in range(500)])
+        assert rtts == pytest.approx(2 * one, rel=0.1)
+
+
+class TestLoadMeter:
+    def test_rate_after_burst(self):
+        meter = LoadMeter(half_life=2.0)
+        meter.add(0.0, 100.0)
+        # Immediately after, rate ~ amount / (half_life / ln 2).
+        expected = 100.0 / (2.0 / np.log(2))
+        assert meter.rate(0.0) == pytest.approx(expected)
+
+    def test_decay_halves_per_half_life(self):
+        meter = LoadMeter(half_life=2.0)
+        meter.add(0.0, 100.0)
+        early = meter.rate(0.0)
+        late = meter.rate(2.0)
+        assert late == pytest.approx(early / 2)
+
+    def test_steady_stream_estimates_rate(self):
+        meter = LoadMeter(half_life=1.0)
+        # 50 units per 0.1 s = 500 units/s steady state.
+        for step in range(200):
+            meter.add(step * 0.1, 50.0)
+        assert meter.rate(19.9) == pytest.approx(500.0, rel=0.1)
+
+    def test_time_backwards_rejected(self):
+        meter = LoadMeter()
+        meter.add(5.0, 1.0)
+        with pytest.raises(ValueError):
+            meter.add(4.0, 1.0)
+
+    def test_reset(self):
+        meter = LoadMeter()
+        meter.add(0.0, 10.0)
+        meter.reset()
+        assert meter.rate(0.0) == 0.0

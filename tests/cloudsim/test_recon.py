@@ -1,0 +1,110 @@
+"""Tests for the Section VII resilience claims: spoofing and scanning."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cloudsim.recon import ReconnaissanceScanner, SpoofingFlooder
+from repro.cloudsim.system import CloudConfig, CloudDefenseSystem
+
+
+def make_system(**config_kwargs):
+    system = CloudDefenseSystem(CloudConfig(**config_kwargs), seed=31)
+    system.build()
+    return system
+
+
+class TestSpoofingFlooder:
+    def test_spoofed_flood_never_reaches_replicas(self):
+        """Paper: spoofed sources cannot complete the redirect handshake,
+        so replicas see none of their traffic."""
+        system = make_system()
+        flooder = SpoofingFlooder(system.ctx, packets_per_second=50_000.0)
+        flooder.start()
+        system.ctx.sim.run_until(30.0)
+        assert flooder.packets_sent > 1_000_000
+        assert flooder.replica_addresses_learned == 0
+        for replica in system.ctx.all_replicas():
+            assert replica.stats.flood_packets == 0.0
+            assert replica.net_utilization() == 0.0
+        # The junk landed on the (absorbing) load balancers instead.
+        absorbed = sum(
+            balancer.spoofed_packets
+            for balancer in system.ctx.balancers.values()
+        )
+        assert absorbed == pytest.approx(flooder.packets_sent)
+
+    def test_no_shuffles_triggered_by_spoofing(self):
+        system = make_system()
+        flooder = SpoofingFlooder(system.ctx, packets_per_second=100_000.0)
+        flooder.start()
+        system.ctx.sim.run_until(30.0)
+        assert system.ctx.coordinator.shuffle_count == 0
+
+    def test_stop(self):
+        system = make_system()
+        flooder = SpoofingFlooder(system.ctx)
+        flooder.start()
+        system.ctx.sim.run_until(5.0)
+        sent = flooder.packets_sent
+        flooder.stop()
+        system.ctx.sim.run_until(15.0)
+        assert flooder.packets_sent == sent
+
+
+class TestReconnaissanceScanner:
+    def test_hit_probability_matches_pool_ratio(self):
+        system = make_system(n_domains=2, initial_replicas_per_domain=2)
+        scanner = ReconnaissanceScanner(system.ctx, pool_size=1_000)
+        assert scanner.hit_probability() == pytest.approx(4 / 1_000)
+
+    def test_discoveries_are_whitelist_rejected(self):
+        """Even a lucky scan hit cannot consume application service."""
+        system = make_system()
+        scanner = ReconnaissanceScanner(
+            system.ctx, pool_size=100, probes_per_second=500.0,
+        )
+        scanner.start()
+        system.ctx.sim.run_until(20.0)
+        assert scanner.report.hits > 0  # the pool is tiny; hits happen
+        assert scanner.report.admitted_requests == 0
+        rejected = sum(
+            replica.stats.requests_rejected
+            for replica in system.ctx.all_replicas()
+        )
+        assert rejected >= scanner.report.hits
+
+    def test_discoveries_go_stale_after_substitution(self):
+        """Moving targets rot the scanner's notebook."""
+        system = make_system()
+        scanner = ReconnaissanceScanner(
+            system.ctx, pool_size=50, probes_per_second=200.0,
+        )
+        scanner.start()
+        system.ctx.sim.run_until(10.0)
+        assert scanner.report.hits > 0
+        assert scanner.stale_fraction() == 0.0
+        # Force a substitution cycle of every active replica.
+        for replica in list(system.ctx.active_replicas()):
+            replacement = system.ctx.coordinator.new_replica(
+                replica.endpoint.domain, activate_now=True
+            )
+            assert replacement.is_active
+            system.ctx.retire_replica(replica)
+        assert scanner.stale_fraction() == 1.0
+
+    def test_scanner_against_large_pool_rarely_hits(self):
+        system = make_system()
+        scanner = ReconnaissanceScanner(
+            system.ctx, pool_size=1_000_000, probes_per_second=1_000.0,
+        )
+        scanner.start()
+        system.ctx.sim.run_until(30.0)
+        assert scanner.report.probes > 25_000
+        # 4 replicas in a million-address pool: hits are essentially nil.
+        assert scanner.report.hits <= 2
+
+    def test_validation(self):
+        system = make_system()
+        with pytest.raises(ValueError):
+            ReconnaissanceScanner(system.ctx, pool_size=0)

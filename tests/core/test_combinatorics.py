@@ -1,0 +1,195 @@
+"""Unit and property tests for repro.core.combinatorics."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.combinatorics import (
+    binomial_ratio,
+    expected_saved_single,
+    expected_saved_single_many,
+    hypergeometric_pmf,
+    hypergeometric_pmf_vector,
+    log_binomial,
+    survival_probabilities,
+    survival_probability,
+)
+
+
+class TestLogBinomial:
+    def test_matches_math_comb_small(self):
+        for n in range(0, 25):
+            for k in range(0, n + 1):
+                expected = math.comb(n, k)
+                assert log_binomial(n, k) == pytest.approx(
+                    math.log(expected), abs=1e-9
+                )
+
+    def test_zero_coefficient_is_minus_inf(self):
+        assert log_binomial(5, 6) == float("-inf")
+        assert log_binomial(5, -1) == float("-inf")
+        assert log_binomial(-1, 0) == float("-inf")
+
+    def test_edges(self):
+        assert log_binomial(10, 0) == 0.0
+        assert log_binomial(10, 10) == 0.0
+
+    def test_large_arguments_do_not_overflow(self):
+        value = log_binomial(150_000, 100_000)
+        assert math.isfinite(value)
+        assert value > 0
+
+    @given(st.integers(1, 200), st.integers(0, 200))
+    def test_symmetry(self, n, k):
+        if k <= n:
+            assert log_binomial(n, k) == pytest.approx(
+                log_binomial(n, n - k), rel=1e-12, abs=1e-9
+            )
+
+    @given(st.integers(2, 100), st.integers(1, 100))
+    def test_pascal_rule(self, n, k):
+        if k <= n - 1:
+            lhs = math.exp(log_binomial(n, k))
+            rhs = math.exp(log_binomial(n - 1, k)) + math.exp(
+                log_binomial(n - 1, k - 1)
+            )
+            assert lhs == pytest.approx(rhs, rel=1e-9)
+
+
+class TestBinomialRatio:
+    def test_simple_ratio(self):
+        assert binomial_ratio(4, 2, 6, 2) == pytest.approx(6 / 15)
+
+    def test_zero_numerator(self):
+        assert binomial_ratio(3, 5, 6, 2) == 0.0
+
+    def test_zero_denominator_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            binomial_ratio(4, 2, 3, 5)
+
+
+class TestSurvivalProbability:
+    def test_no_bots_is_certain(self):
+        assert survival_probability(100, 0, 30) == 1.0
+
+    def test_all_clients_on_replica_with_bots(self):
+        assert survival_probability(50, 3, 50) == 0.0
+
+    def test_empty_replica_survives(self):
+        assert survival_probability(50, 3, 0) == 1.0
+
+    def test_manual_value(self):
+        # 1 bot among 4 clients, replica holds 1: survives w.p. 3/4.
+        assert survival_probability(4, 1, 1) == pytest.approx(0.75)
+
+    def test_invalid_sizes_raise(self):
+        with pytest.raises(ValueError):
+            survival_probability(10, 2, 11)
+        with pytest.raises(ValueError):
+            survival_probability(10, 11, 2)
+        with pytest.raises(ValueError):
+            survival_probability(10, 2, -1)
+
+    @given(
+        st.integers(2, 80),
+        st.integers(1, 80),
+        st.integers(0, 80),
+    )
+    def test_monotone_decreasing_in_size(self, n, m, x):
+        m = min(m, n)
+        x = min(x, n - 1)
+        p_small = survival_probability(n, m, x)
+        p_big = survival_probability(n, m, x + 1)
+        assert p_big <= p_small + 1e-12
+
+    @given(st.integers(2, 60), st.integers(0, 60), st.integers(0, 60))
+    def test_vector_matches_scalar(self, n, m, x):
+        m = min(m, n)
+        x = min(x, n)
+        vec = survival_probabilities(n, m, np.array([x]))
+        assert vec[0] == pytest.approx(survival_probability(n, m, x))
+
+    def test_vector_empty(self):
+        assert survival_probabilities(10, 2, np.array([], dtype=int)).size == 0
+
+    def test_vector_validates(self):
+        with pytest.raises(ValueError):
+            survival_probabilities(10, 2, np.array([11]))
+        with pytest.raises(ValueError):
+            survival_probabilities(10, 11, np.array([1]))
+
+    def test_agrees_with_monte_carlo(self, rng):
+        n, m, x = 40, 6, 9
+        hits = 0
+        trials = 20_000
+        for _ in range(trials):
+            bots = rng.choice(n, size=m, replace=False)
+            if (bots >= x).all():  # replica owns slots [0, x)
+                hits += 1
+        expected = survival_probability(n, m, x)
+        assert hits / trials == pytest.approx(expected, abs=0.02)
+
+
+class TestExpectedSavedSingle:
+    def test_zero_size_saves_nothing(self):
+        assert expected_saved_single(10, 3, 0) == 0.0
+
+    def test_values_match_vector(self):
+        xs = np.arange(0, 21)
+        vec = expected_saved_single_many(20, 4, xs)
+        for x in xs:
+            assert vec[x] == pytest.approx(expected_saved_single(20, 4, int(x)))
+
+    def test_peak_is_interior_for_many_bots(self):
+        xs = np.arange(0, 101)
+        vec = expected_saved_single_many(100, 20, xs)
+        peak = int(np.argmax(vec))
+        assert 1 <= peak < 100
+
+
+class TestHypergeometricPmf:
+    def test_sums_to_one(self):
+        total, marked, draws = 30, 7, 11
+        pmf = hypergeometric_pmf_vector(total, marked, draws)
+        assert pmf.sum() == pytest.approx(1.0)
+
+    def test_matches_scalar(self):
+        total, marked, draws = 25, 6, 9
+        pmf = hypergeometric_pmf_vector(total, marked, draws)
+        for hits in range(pmf.size):
+            assert pmf[hits] == pytest.approx(
+                hypergeometric_pmf(total, marked, draws, hits)
+            )
+
+    def test_matches_scipy(self):
+        from scipy.stats import hypergeom
+
+        total, marked, draws = 50, 12, 20
+        pmf = hypergeometric_pmf_vector(total, marked, draws)
+        reference = hypergeom.pmf(
+            np.arange(pmf.size), total, marked, draws
+        )
+        np.testing.assert_allclose(pmf, reference, rtol=1e-9, atol=1e-12)
+
+    def test_impossible_hit_counts_are_zero(self):
+        # 3 marked of 10; drawing 9 must hit at least 2 marked.
+        assert hypergeometric_pmf(10, 3, 9, 1) == 0.0
+
+    def test_invalid_args_raise(self):
+        with pytest.raises(ValueError):
+            hypergeometric_pmf(10, 11, 2, 1)
+        with pytest.raises(ValueError):
+            hypergeometric_pmf(10, 2, 11, 1)
+
+    @given(st.integers(1, 40), st.integers(0, 40), st.integers(0, 40))
+    def test_vector_always_normalized(self, total, marked, draws):
+        marked = min(marked, total)
+        draws = min(draws, total)
+        pmf = hypergeometric_pmf_vector(total, marked, draws)
+        assert pmf.min() >= 0
+        assert pmf.sum() == pytest.approx(1.0, abs=1e-9)

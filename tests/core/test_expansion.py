@@ -1,0 +1,104 @@
+"""Tests for the pure server-expansion (attack-dilution) baseline."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.expansion import (
+    ExpansionPlan,
+    expansion_replicas_needed,
+    expansion_saved_fraction,
+)
+
+
+class TestSavedFraction:
+    def test_no_benign(self):
+        assert expansion_saved_fraction(10, 10, 5) == 0.0
+
+    def test_no_bots(self):
+        assert expansion_saved_fraction(100, 0, 1) == pytest.approx(1.0)
+
+    def test_monotone_in_replicas(self):
+        values = [
+            expansion_saved_fraction(1000, 100, p)
+            for p in (10, 100, 1000, 5000)
+        ]
+        for fewer, more in zip(values, values[1:]):
+            assert more >= fewer - 1e-9
+
+    def test_asymptotics(self):
+        # For P >> M, saved fraction ~ (1 - 1/P)^M ~ exp(-M/P).
+        n, m, p = 100_000, 1_000, 10_000
+        measured = expansion_saved_fraction(n, m, p)
+        assert measured == pytest.approx(math.exp(-m / p), rel=0.05)
+
+
+class TestReplicasNeeded:
+    def test_achieves_target(self):
+        p = expansion_replicas_needed(10_000, 500, 0.8)
+        assert expansion_saved_fraction(10_000, 500, p) >= 0.8
+        if p > 1:
+            assert expansion_saved_fraction(10_000, 500, p - 1) < 0.8
+
+    def test_scales_with_bots(self):
+        few = expansion_replicas_needed(100_000, 1_000, 0.8)
+        many = expansion_replicas_needed(100_000, 10_000, 0.8)
+        assert many > 5 * few
+
+    def test_dilution_is_expensive(self):
+        """The intro's claim, quantified: multiple replicas *per bot* for
+        an 80% target (vs. the shuffling defense's fixed small pool)."""
+        bots = 2_000
+        p = expansion_replicas_needed(bots + 10_000, bots, 0.8)
+        assert p > 2 * bots
+        assert p < 5 * bots
+
+    def test_headline_scale_dilution(self):
+        """At the paper's headline scale (100K bots, 50K benign), pure
+        expansion needs a replica for nearly every client."""
+        p = expansion_replicas_needed(150_000, 100_000, 0.8)
+        assert p > 100_000  # vs. shuffling's pool of 1000
+
+    def test_no_bots_needs_one_replica(self):
+        assert expansion_replicas_needed(100, 0, 0.99) == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expansion_replicas_needed(100, 10, 1.5)
+        with pytest.raises(ValueError):
+            expansion_replicas_needed(10, 10, 0.8)
+
+    def test_max_replicas_guard(self):
+        # The target is reachable, just not under the tiny cap.
+        with pytest.raises(OverflowError):
+            expansion_replicas_needed(100_000, 50_000, 0.99,
+                                      max_replicas=64)
+
+    def test_saturates_at_full_isolation(self):
+        # P >= N gives every client an exclusive replica: all benign are
+        # saved in expectation, so any target below 1.0 is reachable.
+        assert expansion_saved_fraction(1_000, 500, 1_000) == pytest.approx(
+            1.0
+        )
+
+    @given(st.integers(1, 200), st.floats(0.3, 0.95))
+    @settings(max_examples=20)
+    def test_binary_search_correct(self, bots, target):
+        n = bots + 500
+        p = expansion_replicas_needed(n, bots, target)
+        assert expansion_saved_fraction(n, bots, p) >= target
+        if p > 1:
+            assert expansion_saved_fraction(n, bots, p - 1) < target
+
+
+class TestExpansionPlan:
+    def test_solve_roundtrip(self):
+        plan = ExpansionPlan.solve(5_000, 300, 0.8)
+        assert plan.replicas_needed == expansion_replicas_needed(
+            5_000, 300, 0.8
+        )
+        assert plan.achieved_fraction >= 0.8

@@ -1,0 +1,125 @@
+"""Tests for the pre-computed plan cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.dp_fast import dp_fast_value
+from repro.core.plan_cache import PlanCache, _nearest, _repair
+from repro.core.shuffler import ShuffleEngine
+
+
+def make_cache() -> PlanCache:
+    cache = PlanCache(
+        n_replicas=20,
+        client_grid=(100, 200, 400, 800),
+        bot_grid=(10, 40, 160),
+    )
+    cache.precompute()
+    return cache
+
+
+class TestConstruction:
+    def test_precompute_counts_cells(self):
+        cache = PlanCache(
+            n_replicas=5, client_grid=(50, 100), bot_grid=(5, 20)
+        )
+        assert cache.precompute() == 4
+        assert cache.cells == 4
+        assert cache.precompute() == 0  # idempotent
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PlanCache(n_replicas=0, client_grid=(10,), bot_grid=(1,))
+        with pytest.raises(ValueError):
+            PlanCache(n_replicas=5, client_grid=(), bot_grid=(1,))
+        with pytest.raises(ValueError):
+            PlanCache(n_replicas=5, client_grid=(20, 10), bot_grid=(1,))
+
+    def test_lookup_before_precompute(self):
+        cache = PlanCache(n_replicas=5, client_grid=(50,), bot_grid=(5,))
+        with pytest.raises(RuntimeError):
+            cache.lookup(50, 5)
+
+
+class TestLookup:
+    def test_exact_cell_is_optimal(self):
+        cache = make_cache()
+        plan = cache.lookup(200, 40)
+        assert plan.algorithm == "cached"
+        assert plan.expected_saved == pytest.approx(
+            dp_fast_value(200, 40, 20), abs=1e-9
+        )
+
+    def test_offgrid_query_near_optimal(self):
+        cache = make_cache()
+        plan = cache.lookup(215, 35)
+        assert plan.n_clients == 215
+        assert sum(plan.group_sizes) == 215
+        optimal = dp_fast_value(215, 35, 20)
+        assert plan.expected_saved >= 0.9 * optimal
+
+    def test_far_offgrid_falls_back_to_greedy(self):
+        cache = make_cache()
+        plan = cache.lookup(10_000, 500)
+        assert plan.algorithm == "greedy"
+        assert cache.fallbacks == 1
+
+    def test_replica_mismatch_falls_back(self):
+        cache = make_cache()
+        plan = cache(300, 40, 99)
+        assert plan.algorithm == "greedy"
+
+    def test_counters(self):
+        cache = make_cache()
+        cache.lookup(200, 40)
+        cache.lookup(210, 40)
+        assert cache.hits == 2
+
+    def test_validation(self):
+        cache = make_cache()
+        with pytest.raises(ValueError):
+            cache.lookup(100, 200)
+
+
+class TestAsPlanner:
+    def test_drives_the_shuffle_engine(self):
+        cache = make_cache()
+        engine = ShuffleEngine(
+            n_replicas=20,
+            planner=cache,
+            rng=np.random.default_rng(17),
+        )
+        state = engine.run(benign=350, bots=50, target_fraction=0.8,
+                           max_rounds=400)
+        assert state.saved_fraction >= 0.8
+        assert cache.hits > 0
+
+
+class TestHelpers:
+    def test_nearest(self):
+        grid = (10, 20, 40)
+        assert _nearest(grid, 5) == 10
+        assert _nearest(grid, 14) == 10
+        assert _nearest(grid, 16) == 20
+        assert _nearest(grid, 100) == 40
+        assert _nearest(grid, 30) == 20  # tie goes low
+
+    def test_repair_adds(self):
+        sizes = [5, 5, 90]
+        _repair(sizes, 110)
+        assert sum(sizes) == 110
+        assert sizes[2] == 100  # largest group absorbs
+
+    def test_repair_removes(self):
+        sizes = [5, 5, 90]
+        _repair(sizes, 80)
+        assert sum(sizes) == 80
+        assert min(sizes) >= 0
+
+    def test_repair_removes_more_than_largest(self):
+        sizes = [4, 4, 4]
+        _repair(sizes, 3)
+        assert sum(sizes) == 3
+        assert all(size >= 0 for size in sizes)

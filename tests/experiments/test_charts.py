@@ -1,0 +1,65 @@
+"""Tests for the per-figure chart builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.fig8 import chart_fig8, run_fig8
+from repro.experiments.fig9 import chart_fig9, run_fig9
+from repro.experiments.fig10 import chart_fig10, run_fig10
+from repro.experiments.fig12 import chart_fig12, run_fig12
+
+
+class TestFigureCharts:
+    def test_fig8_chart(self):
+        rows = run_fig8(
+            bot_counts=(5_000, 20_000),
+            benign_counts=(10_000,),
+            targets=(0.8, 0.95),
+            repetitions=2,
+            seed=1,
+        )
+        chart = chart_fig8(rows)
+        assert "Figure 8" in chart
+        assert "10K/80%" in chart
+        assert "10K/95%" in chart
+        assert "persistent bots" in chart
+
+    def test_fig9_chart(self):
+        rows = run_fig9(
+            replica_counts=(900, 2000),
+            benign_counts=(10_000,),
+            targets=(0.8,),
+            repetitions=2,
+            seed=2,
+        )
+        chart = chart_fig9(rows)
+        assert "Figure 9" in chart
+        assert "shuffling replicas" in chart
+
+    def test_fig10_chart(self):
+        curves = run_fig10(fractions=(0.3, 0.6, 0.9), repetitions=2,
+                           seed=3)
+        chart = chart_fig10(curves)
+        assert "Figure 10" in chart
+        assert "10K benign" in chart
+        assert "50K benign" in chart
+
+    def test_fig12_chart(self):
+        rows = run_fig12(client_counts=(10, 30, 60), repetitions=3,
+                         seed=4)
+        chart = chart_fig12(rows)
+        assert "Figure 12" in chart
+        assert "all clients" in chart
+        assert "per client" in chart
+
+    def test_fig8_chart_skips_singleton_series(self):
+        rows = run_fig8(
+            bot_counts=(5_000,),  # one x-value: no drawable line
+            benign_counts=(10_000,),
+            targets=(0.8,),
+            repetitions=2,
+            seed=5,
+        )
+        with pytest.raises(ValueError):
+            chart_fig8(rows)  # all series dropped -> explicit error

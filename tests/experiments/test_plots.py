@@ -1,0 +1,92 @@
+"""Tests for the ASCII chart renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.plots import Series, ascii_chart
+
+
+class TestSeries:
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="xs"):
+            Series("a", [1, 2], [1])
+
+    def test_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            Series("a", [], [])
+
+
+class TestAsciiChart:
+    def test_contains_glyphs_and_legend(self):
+        chart = ascii_chart(
+            [
+                Series("up", [0, 1, 2], [0, 1, 2]),
+                Series("down", [0, 1, 2], [2, 1, 0]),
+            ],
+            title="cross",
+        )
+        assert "cross" in chart
+        assert "*" in chart
+        assert "o" in chart
+        assert "*=up" in chart
+        assert "o=down" in chart
+
+    def test_rising_series_rises(self):
+        chart = ascii_chart(
+            [Series("s", [0, 10], [0, 100])], width=20, height=10
+        )
+        rows = [
+            line for line in chart.splitlines() if "|" in line
+        ]
+        first_row_with_glyph = next(
+            i for i, row in enumerate(rows) if "*" in row
+        )
+        last_row_with_glyph = max(
+            i for i, row in enumerate(rows) if "*" in row
+        )
+        # Top rows hold high y values: the max lands above the min.
+        top_col = rows[first_row_with_glyph].index("*")
+        bottom_col = rows[last_row_with_glyph].index("*")
+        assert top_col > bottom_col
+
+    def test_axis_bounds_printed(self):
+        chart = ascii_chart(
+            [Series("s", [5, 25], [100, 400])], width=30, height=8
+        )
+        assert "5" in chart
+        assert "25" in chart
+        assert "100" in chart
+        assert "400" in chart
+
+    def test_constant_series_does_not_crash(self):
+        chart = ascii_chart([Series("flat", [0, 1], [7, 7])])
+        assert "flat" in chart
+
+    def test_single_point(self):
+        chart = ascii_chart([Series("dot", [3], [4])])
+        assert "*" in chart
+
+    def test_labels(self):
+        chart = ascii_chart(
+            [Series("s", [0, 1], [0, 1])],
+            x_label="bots",
+            y_label="shuffles",
+        )
+        assert "bots" in chart
+        assert "shuffles" in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="at least one"):
+            ascii_chart([])
+        with pytest.raises(ValueError, match="too small"):
+            ascii_chart([Series("s", [0], [0])], width=4, height=2)
+        too_many = [
+            Series(str(i), [0, 1], [0, i]) for i in range(9)
+        ]
+        with pytest.raises(ValueError, match="at most"):
+            ascii_chart(too_many)
+
+    def test_deterministic(self):
+        series = [Series("s", [0, 1, 2, 3], [5, 1, 4, 2])]
+        assert ascii_chart(series) == ascii_chart(series)

@@ -1,0 +1,46 @@
+"""Tests for the experiments CLI."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.runner import EXPERIMENTS, main
+
+
+class TestRegistry:
+    def test_every_figure_has_a_driver(self):
+        expected = {
+            "fig3", "fig4", "fig5", "fig6", "fig7",
+            "fig8", "fig9", "fig10", "fig12", "headline", "ablations",
+        }
+        assert set(EXPERIMENTS) == expected
+
+
+class TestCli:
+    def test_fig4_runs(self, capsys):
+        assert main(["fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 4" in out
+        assert "finished in" in out
+
+    def test_quick_flag(self, capsys):
+        assert main(["fig12", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 12" in out
+
+    def test_chart_flag(self, capsys):
+        assert main(["fig12", "--quick", "--chart"]) == 0
+        out = capsys.readouterr().out
+        assert "all clients" in out  # legend of the ASCII chart
+        assert "|" in out
+
+    def test_ablations_run(self, capsys):
+        assert main(["ablations", "--quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Ablation 1" in out
+        assert "Ablation 4" in out
+        assert "expansion" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])

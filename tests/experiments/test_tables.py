@@ -1,0 +1,52 @@
+"""Tests for the ASCII table renderer."""
+
+from __future__ import annotations
+
+from repro.experiments.tables import format_value, render_table
+
+
+class TestFormatValue:
+    def test_floats(self):
+        assert format_value(3.14159) == "3.142"
+        assert format_value(42.42) == "42.4"
+        assert format_value(1234.5) == "1,234"
+
+    def test_nan(self):
+        assert format_value(float("nan")) == "-"
+
+    def test_bool(self):
+        assert format_value(True) == "yes"
+        assert format_value(False) == "no"
+
+    def test_str_passthrough(self):
+        assert format_value("abc") == "abc"
+        assert format_value(7) == "7"
+
+
+class TestRenderTable:
+    def test_alignment_and_content(self):
+        rows = [
+            {"name": "alpha", "value": 1.0},
+            {"name": "b", "value": 123.456},
+        ]
+        text = render_table(rows, title="My table")
+        lines = text.splitlines()
+        assert lines[0] == "My table"
+        assert "name" in lines[1]
+        assert "value" in lines[1]
+        assert "alpha" in lines[3]
+        assert "123.5" in lines[4]
+
+    def test_column_order_respected(self):
+        rows = [{"a": 1, "b": 2}]
+        text = render_table(rows, columns=["b", "a"])
+        header = text.splitlines()[0]
+        assert header.index("b") < header.index("a")
+
+    def test_missing_keys_render_empty(self):
+        rows = [{"a": 1}, {"a": 2, "b": 3}]
+        text = render_table(rows, columns=["a", "b"])
+        assert "3" in text
+
+    def test_empty(self):
+        assert "(no rows)" in render_table([], title="x")

@@ -1,0 +1,133 @@
+"""End-to-end integration tests across the whole stack.
+
+These exercise the complete defense pipeline — DNS, load balancers,
+replicas, coordinator, botnet, clients — under the adversary strategies
+discussed in paper Sections II-B and VII, and check the system-level
+outcomes the paper promises.
+"""
+
+from __future__ import annotations
+
+from repro.cloudsim import CloudConfig, CloudDefenseSystem
+
+
+def attacked_fraction_timeline(report):
+    return [
+        sample.attacked_replicas / max(1, sample.active_replicas)
+        for sample in report.samples
+    ]
+
+
+class TestNaiveOnlyAttack:
+    def test_moving_target_evades_static_hitlist(self):
+        """A hit-list that is never refreshed is defeated by replacement.
+
+        We emulate naive-only attackers by revealing the initial replica
+        addresses once (as if leaked) with no persistent bots to follow
+        the moved replicas: after one substitution cycle the flood hits
+        only null-routed addresses.
+        """
+        system = CloudDefenseSystem(CloudConfig(naive_pps=50_000.0), seed=7)
+        system.add_benign_clients(60)
+        system.build()
+        # One-time leak of every current replica address.
+        system.botnet.prune_delay = 1e9  # naive fleet never re-coordinates
+        for replica in system.ctx.active_replicas():
+            system.botnet.reveal(replica.endpoint.address)
+        report = system.run(duration=120.0)
+        assert report.shuffles >= 1
+        # With nobody revealing the new locations, the tail is clean and
+        # almost all flood packets are wasted on recycled replicas.
+        assert report.benign_success_last_quarter > 0.95
+        assert system.botnet.waste_ratio > 0.5
+
+
+class TestPersistentAttack:
+    def test_qos_degrades_then_recovers(self):
+        system = CloudDefenseSystem(seed=11)
+        system.add_benign_clients(100)
+        system.add_persistent_bots(10)
+        report = system.run(duration=200.0)
+        assert report.shuffles >= 1
+        assert report.benign_success_last_quarter > 0.9
+        # Moving targets cost the botnet effort: some waste must appear.
+        assert report.naive_waste_ratio > 0.0
+
+    def test_defense_disabled_stays_degraded(self):
+        """Ablation: without monitoring, the attack persists unmitigated."""
+        protected = CloudDefenseSystem(seed=13)
+        protected.add_benign_clients(60)
+        protected.add_persistent_bots(8)
+        protected_report = protected.run(duration=150.0)
+
+        unprotected = CloudDefenseSystem(seed=13)
+        unprotected.add_benign_clients(60)
+        unprotected.add_persistent_bots(8)
+        unprotected.build()
+        unprotected.ctx.coordinator.stop_monitoring()
+        unprotected_report = unprotected.run(duration=150.0)
+
+        assert unprotected_report.shuffles == 0
+        assert (
+            protected_report.benign_success_last_quarter
+            > unprotected_report.benign_success_last_quarter
+        )
+
+    def test_computational_attack_mitigated(self):
+        config = CloudConfig(naive_pps=0.0)
+        system = CloudDefenseSystem(config, seed=17)
+        system.add_benign_clients(60)
+        system.add_persistent_bots(8, computational=True)
+        report = system.run(duration=200.0)
+        assert report.shuffles >= 1
+        assert report.benign_success_last_quarter > 0.85
+
+
+class TestOnOffAttack:
+    def test_onoff_bots_only_reduce_intensity(self):
+        """Section VII: going quiet buys the attacker nothing structural —
+        'they will only lead to a reduced DDoS attack intensity'.
+
+        Benign QoS with on-off bots must be no worse than with always-on
+        bots, and the defense must still mitigate whatever attacks do land.
+        """
+        aggressive = CloudDefenseSystem(seed=19)
+        aggressive.add_benign_clients(80)
+        aggressive.add_persistent_bots(10)
+        aggressive_report = aggressive.run(duration=200.0)
+
+        sneaky = CloudDefenseSystem(seed=19)
+        sneaky.add_benign_clients(80)
+        sneaky.add_persistent_bots(10, on_off=True, off_duration=40.0)
+        sneaky_report = sneaky.run(duration=200.0)
+
+        assert (
+            sneaky_report.benign_success_overall
+            >= aggressive_report.benign_success_overall - 0.05
+        )
+        assert sneaky_report.benign_success_last_quarter > 0.9
+        assert aggressive_report.benign_success_last_quarter > 0.9
+
+
+class TestConservation:
+    def test_every_benign_client_has_a_home_after_attack(self):
+        system = CloudDefenseSystem(seed=23)
+        system.add_benign_clients(50)
+        system.add_persistent_bots(5)
+        system.run(duration=150.0)
+        for client in system.benign:
+            assert client.replica_endpoint is not None
+            replica = system.ctx.replica_at(client.replica_endpoint)
+            # Either the replica is alive and the client whitelisted, or
+            # the client is mid-rejoin (replica retired moments ago).
+            if replica is not None and replica.is_active:
+                assert client.client_id in replica.whitelist
+
+    def test_simulator_clock_consistent(self):
+        system = CloudDefenseSystem(seed=29)
+        system.add_benign_clients(20)
+        system.add_persistent_bots(3)
+        report = system.run(duration=60.0)
+        assert system.ctx.sim.now >= 60.0
+        times = [s.time for s in report.samples]
+        assert times == sorted(times)

@@ -1,0 +1,66 @@
+"""Tests for the Poisson arrival processes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.arrivals import (
+    PAPER_BENIGN_RATE,
+    PAPER_BOT_RATE,
+    PoissonArrivals,
+)
+
+
+class TestPaperRates:
+    def test_paper_constants(self):
+        assert PAPER_BOT_RATE == pytest.approx(5000 / 3)
+        assert PAPER_BENIGN_RATE == pytest.approx(100 / 3)
+
+
+class TestPoissonArrivals:
+    def test_mean_rates(self, rng):
+        arrivals = PoissonArrivals(benign_rate=10.0, bot_rate=40.0)
+        benign_total = bots_total = 0
+        rounds = 2_000
+        for index in range(rounds):
+            benign, bots = arrivals(index, rng)
+            benign_total += benign
+            bots_total += bots
+        assert benign_total / rounds == pytest.approx(10.0, rel=0.1)
+        assert bots_total / rounds == pytest.approx(40.0, rel=0.1)
+
+    def test_caps_respected(self, rng):
+        arrivals = PoissonArrivals(
+            benign_rate=100.0, bot_rate=100.0,
+            benign_cap=250, bot_cap=120,
+        )
+        for index in range(100):
+            arrivals(index, rng)
+        assert arrivals.benign_arrived == 250
+        assert arrivals.bots_arrived == 120
+
+    def test_zero_rate_never_arrives(self, rng):
+        arrivals = PoissonArrivals(benign_rate=0.0, bot_rate=0.0)
+        for index in range(50):
+            assert arrivals(index, rng) == (0, 0)
+
+    def test_reset(self, rng):
+        arrivals = PoissonArrivals(benign_rate=5.0, bot_rate=5.0,
+                                   benign_cap=10, bot_cap=10)
+        for index in range(20):
+            arrivals(index, rng)
+        arrivals.reset()
+        assert arrivals.benign_arrived == 0
+        assert arrivals.bots_arrived == 0
+
+    def test_negative_rate_rejected(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(benign_rate=-1.0)
+
+    def test_cap_exact_cut(self, rng):
+        # The final draw is truncated so the cap is hit exactly.
+        arrivals = PoissonArrivals(benign_rate=1000.0, bot_rate=0.0,
+                                   benign_cap=137)
+        benign, _ = arrivals(0, rng)
+        assert benign == 137
+        assert arrivals(1, rng) == (0, 0)

@@ -1,0 +1,57 @@
+"""Tests pinning the paper's scenario grids."""
+
+from __future__ import annotations
+
+from repro.sim.scenarios import (
+    FIG8_BENIGN_COUNTS,
+    FIG8_BOT_COUNTS,
+    FIG9_REPLICA_COUNTS,
+    fig8_scenarios,
+    fig9_scenarios,
+    fig10_scenarios,
+    headline_scenario,
+)
+
+
+class TestGrids:
+    def test_fig8_bot_axis_matches_paper(self):
+        assert FIG8_BOT_COUNTS[0] == 10_000
+        assert FIG8_BOT_COUNTS[-1] == 100_000
+        assert len(FIG8_BOT_COUNTS) == 10
+
+    def test_fig8_benign_populations(self):
+        assert FIG8_BENIGN_COUNTS == (10_000, 50_000)
+
+    def test_fig9_replica_axis_matches_paper(self):
+        assert FIG9_REPLICA_COUNTS[0] == 900
+        assert FIG9_REPLICA_COUNTS[-1] == 2_000
+
+    def test_fig8_scenarios_shape(self):
+        scenarios = fig8_scenarios()
+        assert len(scenarios) == 2 * 2 * 10
+        assert all(s.n_replicas == 1000 for s in scenarios)
+        assert {s.target_fraction for s in scenarios} == {0.8, 0.95}
+
+    def test_fig9_scenarios_shape(self):
+        scenarios = fig9_scenarios()
+        assert all(s.bots == 100_000 for s in scenarios)
+        assert {s.n_replicas for s in scenarios} == set(FIG9_REPLICA_COUNTS)
+
+    def test_fig10_runs_to_95(self):
+        scenarios = fig10_scenarios()
+        assert len(scenarios) == 2
+        assert all(s.target_fraction == 0.95 for s in scenarios)
+        assert all(s.bots == 100_000 for s in scenarios)
+
+    def test_headline(self):
+        scenario = headline_scenario()
+        assert scenario.benign == 50_000
+        assert scenario.bots == 100_000
+        assert scenario.n_replicas == 1000
+        assert scenario.target_fraction == 0.8
+
+    def test_describe_mentions_parameters(self):
+        text = headline_scenario().describe()
+        assert "50000" in text
+        assert "100000" in text
+        assert "greedy" in text

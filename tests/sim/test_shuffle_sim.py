@@ -1,0 +1,149 @@
+"""Tests for the Monte-Carlo shuffle-simulation harness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sim.shuffle_sim import (
+    ShuffleScenario,
+    cumulative_saved_curve,
+    run_scenario,
+    run_scenario_once,
+)
+
+
+def small_scenario(**overrides) -> ShuffleScenario:
+    defaults = dict(
+        benign=400,
+        bots=100,
+        n_replicas=50,
+        target_fraction=0.8,
+        benign_rate=2.0,
+        bot_rate=20.0,
+        max_rounds=500,
+    )
+    defaults.update(overrides)
+    return ShuffleScenario(**defaults)
+
+
+class TestRunOnce:
+    def test_reaches_target(self, rng):
+        record = run_scenario_once(small_scenario(), rng)
+        assert record.reached_target
+        assert record.saved_fraction >= 0.8
+
+    def test_deterministic_given_seed(self):
+        scenario = small_scenario()
+        a = run_scenario_once(scenario, np.random.default_rng(99))
+        b = run_scenario_once(scenario, np.random.default_rng(99))
+        assert a == b
+
+    def test_preload_bots_skips_buildup(self, rng):
+        record = run_scenario_once(
+            small_scenario(preload_bots=True), rng
+        )
+        # With all bots present from round one, early rounds save less
+        # than the build-up variant's first round.
+        assert record.n_shuffles >= 1
+
+    def test_preload_harder_than_buildup(self):
+        build = run_scenario_once(
+            small_scenario(), np.random.default_rng(5)
+        )
+        preload = run_scenario_once(
+            small_scenario(preload_bots=True), np.random.default_rng(5)
+        )
+        assert preload.n_shuffles >= build.n_shuffles
+
+    def test_saved_per_round_consistent(self, rng):
+        record = run_scenario_once(small_scenario(), rng)
+        assert sum(record.saved_per_round) == record.benign_saved
+        assert len(record.saved_per_round) == record.n_shuffles
+
+    def test_benign_totals(self, rng):
+        record = run_scenario_once(small_scenario(), rng)
+        assert record.benign_total >= record.benign_initial == 400
+        assert record.saved_fraction_total <= record.saved_fraction
+
+
+class TestRunScenario:
+    def test_summaries(self):
+        result = run_scenario(small_scenario(), repetitions=5, seed=1)
+        assert result.shuffles.n == 5
+        assert result.mean_shuffles > 0
+        assert 0.8 <= result.saved_fraction.mean <= 1.0
+
+    def test_reproducible(self):
+        first = run_scenario(small_scenario(), repetitions=3, seed=2)
+        second = run_scenario(small_scenario(), repetitions=3, seed=2)
+        assert first.shuffles.mean == second.shuffles.mean
+
+    def test_different_seeds_differ(self):
+        first = run_scenario(small_scenario(), repetitions=3, seed=2)
+        second = run_scenario(small_scenario(), repetitions=3, seed=3)
+        runs_a = [r.n_shuffles for r in first.runs]
+        runs_b = [r.n_shuffles for r in second.runs]
+        assert runs_a != runs_b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            run_scenario(small_scenario(), repetitions=0)
+
+
+class TestQualitativeShape:
+    def test_more_bots_more_shuffles(self):
+        # Preload the bot population so the comparison is not masked by
+        # the arrival build-up phase (tiny grids finish within it).
+        light = run_scenario(
+            small_scenario(bots=50, preload_bots=True),
+            repetitions=5, seed=4,
+        )
+        heavy = run_scenario(
+            small_scenario(bots=400, preload_bots=True),
+            repetitions=5, seed=4,
+        )
+        assert heavy.mean_shuffles > light.mean_shuffles
+
+    def test_more_replicas_fewer_shuffles(self):
+        few = run_scenario(
+            small_scenario(n_replicas=25), repetitions=5, seed=5
+        )
+        many = run_scenario(
+            small_scenario(n_replicas=100), repetitions=5, seed=5
+        )
+        assert many.mean_shuffles < few.mean_shuffles
+
+    def test_higher_target_more_shuffles(self):
+        low = run_scenario(
+            small_scenario(target_fraction=0.8), repetitions=5, seed=6
+        )
+        high = run_scenario(
+            small_scenario(target_fraction=0.95), repetitions=5, seed=6
+        )
+        assert high.mean_shuffles > low.mean_shuffles
+
+
+class TestCumulativeCurve:
+    def test_monotone_and_bounded(self):
+        result = run_scenario(
+            small_scenario(target_fraction=0.95), repetitions=5, seed=7
+        )
+        fractions = (0.2, 0.4, 0.6, 0.8, 0.95)
+        summaries = cumulative_saved_curve(result, fractions)
+        means = [s.mean for s in summaries]
+        assert means == sorted(means)
+        assert means[-1] <= result.mean_shuffles + 1e-9
+
+    def test_diminishing_returns(self):
+        """Figure 10's shape: later fractions cost more shuffles each."""
+        result = run_scenario(
+            small_scenario(benign=1000, bots=400, n_replicas=60,
+                           target_fraction=0.95),
+            repetitions=5,
+            seed=8,
+        )
+        summaries = cumulative_saved_curve(result, (0.3, 0.6, 0.9))
+        first_leg = summaries[1].mean - summaries[0].mean
+        second_leg = summaries[2].mean - summaries[1].mean
+        assert second_leg > first_leg

@@ -1,0 +1,84 @@
+"""Tests for the statistics helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.stats import SampleSummary, confidence_interval, summarize
+
+
+class TestSummarize:
+    def test_single_observation(self):
+        summary = summarize([3.0])
+        assert summary.mean == 3.0
+        assert summary.half_width == 0.0
+        assert summary.n == 1
+
+    def test_constant_sample(self):
+        summary = summarize([5.0] * 10)
+        assert summary.mean == 5.0
+        assert summary.half_width == 0.0
+
+    def test_known_interval(self):
+        # mean 2, std 1, n=4, 95%: t_{0.975,3}=3.1824 -> half = 1.5912
+        summary = summarize([1.0, 1.0, 3.0, 3.0], confidence=0.95)
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.std == pytest.approx(np.std([1, 1, 3, 3], ddof=1))
+        assert summary.half_width == pytest.approx(
+            3.182446 * summary.std / 2.0, rel=1e-5
+        )
+
+    def test_higher_confidence_is_wider(self):
+        data = [1.0, 2.0, 4.0, 8.0, 9.0]
+        assert (
+            summarize(data, confidence=0.99).half_width
+            > summarize(data, confidence=0.95).half_width
+        )
+
+    def test_bounds_accessors(self):
+        summary = summarize([1.0, 2.0, 3.0], confidence=0.95)
+        assert summary.low == pytest.approx(summary.mean - summary.half_width)
+        assert summary.high == pytest.approx(summary.mean + summary.half_width)
+
+    def test_format(self):
+        summary = SampleSummary(
+            mean=12.345, half_width=1.234, n=5, confidence=0.95, std=1.0
+        )
+        assert summary.format(1) == "12.3 ± 1.2"
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            summarize([])
+        with pytest.raises(ValueError):
+            summarize([1.0], confidence=1.5)
+
+    @given(
+        st.lists(st.floats(-1e6, 1e6), min_size=2, max_size=50),
+    )
+    def test_mean_inside_interval(self, values):
+        summary = summarize(values, confidence=0.99)
+        assert summary.low <= summary.mean <= summary.high
+
+    def test_interval_covers_truth(self, rng):
+        """95% CI should cover the true mean ~95% of the time."""
+        covered = 0
+        trials = 400
+        for _ in range(trials):
+            sample = rng.normal(10.0, 2.0, size=12)
+            summary = summarize(sample, confidence=0.95)
+            if summary.low <= 10.0 <= summary.high:
+                covered += 1
+        assert covered / trials == pytest.approx(0.95, abs=0.04)
+
+
+class TestConfidenceInterval:
+    def test_zero_for_single_sample(self):
+        assert confidence_interval(2.0, 1, 0.95) == 0.0
+
+    def test_shrinks_with_n(self):
+        wide = confidence_interval(1.0, 4, 0.95)
+        narrow = confidence_interval(1.0, 64, 0.95)
+        assert narrow < wide

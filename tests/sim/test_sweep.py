@@ -1,0 +1,67 @@
+"""Tests for the generic sweep utility."""
+
+from __future__ import annotations
+
+import csv
+import io
+
+from repro.sim.shuffle_sim import ShuffleScenario
+from repro.sim.sweep import sweep, to_csv
+
+
+def tiny_grid():
+    return [
+        ShuffleScenario(
+            benign=300, bots=bots, n_replicas=40,
+            target_fraction=0.8, preload_bots=True, max_rounds=400,
+        )
+        for bots in (30, 120)
+    ]
+
+
+class TestSweep:
+    def test_one_record_per_scenario(self):
+        records = sweep(tiny_grid(), repetitions=3, seed=1)
+        assert len(records) == 2
+        assert records[0]["bots"] == 30
+        assert records[1]["bots"] == 120
+        assert all(record["repetitions"] == 3 for record in records)
+
+    def test_outcomes_sensible(self):
+        records = sweep(tiny_grid(), repetitions=3, seed=2)
+        assert (
+            records[1]["shuffles_mean"] > records[0]["shuffles_mean"]
+        )
+        assert all(record["all_reached_target"] for record in records)
+
+    def test_reproducible(self):
+        first = sweep(tiny_grid(), repetitions=2, seed=3)
+        second = sweep(tiny_grid(), repetitions=2, seed=3)
+        assert first == second
+
+    def test_empty_grid(self):
+        assert sweep([], repetitions=2) == []
+
+
+class TestCsv:
+    def test_round_trip(self):
+        records = sweep(tiny_grid(), repetitions=2, seed=4)
+        text = to_csv(records)
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == 2
+        assert rows[0]["bots"] == "30"
+        assert float(rows[0]["shuffles_mean"]) > 0
+
+    def test_empty(self):
+        assert to_csv([]) == ""
+
+
+class TestWeightedEstimatorInEngine:
+    def test_weighted_estimator_converges(self):
+        scenario = ShuffleScenario(
+            benign=400, bots=80, n_replicas=40,
+            target_fraction=0.8, preload_bots=True,
+            estimator="weighted", max_rounds=500,
+        )
+        records = sweep([scenario], repetitions=2, seed=5)
+        assert records[0]["all_reached_target"]

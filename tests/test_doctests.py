@@ -1,0 +1,37 @@
+"""Run the executable examples embedded in docstrings.
+
+Docstring examples are API documentation; if they drift from the code
+they are worse than no examples.  This collector runs doctest over every
+module that carries ``>>>`` snippets.
+"""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.analysis.theory
+import repro.core.combinatorics
+import repro.core.estimator
+import repro.core.even
+import repro.core.greedy
+
+MODULES_WITH_EXAMPLES = [
+    repro.analysis.theory,
+    repro.core.combinatorics,
+    repro.core.estimator,
+    repro.core.even,
+    repro.core.greedy,
+]
+
+
+@pytest.mark.parametrize(
+    "module",
+    MODULES_WITH_EXAMPLES,
+    ids=lambda module: module.__name__,
+)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.attempted > 0, f"{module.__name__} lost its examples"
+    assert results.failed == 0
