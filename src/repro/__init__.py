@@ -31,6 +31,8 @@ Quickstart::
     print(f"saved 80% of benign clients in {len(state.rounds)} shuffles")
 """
 
+from __future__ import annotations
+
 from .core import (
     BotEstimate,
     PLANNERS,

@@ -7,6 +7,8 @@
   stated future work) comparing shuffling against pure expansion.
 """
 
+from __future__ import annotations
+
 from .convergence import (
     TrajectoryPoint,
     predict_shuffles,

@@ -21,6 +21,8 @@ Components map one-to-one onto Section III / Figure 1:
   behind Figure 12.
 """
 
+from __future__ import annotations
+
 from .botnet import Botnet
 from .clients import BenignClient, ClientStats, OnOffBot, PersistentBot
 from .coordinator import Coordinator, ShuffleRecord

@@ -17,6 +17,8 @@ This package implements the paper's primary contribution (Sections IV & V):
 - :mod:`~repro.core.shuffler` — the multi-round shuffling control loop.
 """
 
+from __future__ import annotations
+
 from .combinatorics import (
     expected_saved_single,
     hypergeometric_pmf,

@@ -63,10 +63,10 @@ def binomial_ratio(n1: int, k1: int, n2: int, k2: int) -> float:
     Raises :class:`ZeroDivisionError` when the denominator is zero.
     """
     log_den = log_binomial(n2, k2)
-    if log_den == float("-inf"):
+    if math.isinf(log_den):
         raise ZeroDivisionError(f"C({n2}, {k2}) is zero")
     log_num = log_binomial(n1, k1)
-    if log_num == float("-inf"):
+    if math.isinf(log_num):
         return 0.0
     return math.exp(log_num - log_den)
 
@@ -121,7 +121,11 @@ def survival_probabilities(n: int, m: int, xs: np.ndarray) -> np.ndarray:
         math.lgamma(n + 1) - math.lgamma(m + 1) - math.lgamma(n - m + 1)
     )
     out[ok] = log_num - log_den
-    return np.exp(out)
+    # The numerator uses scipy's gammaln while the denominator uses
+    # math.lgamma; their last-ulp disagreement can push exp() a few 1e-16
+    # above 1.0 (e.g. at x = 0, where the true ratio is exactly 1).  Clip
+    # to the probability range rather than leak >1 values downstream.
+    return np.clip(np.exp(out), 0.0, 1.0)
 
 
 def _lgamma(values: np.ndarray | float) -> np.ndarray:
@@ -172,7 +176,7 @@ def hypergeometric_pmf(total: int, marked: int, draws: int, hits: int) -> float:
     log_num = log_binomial(marked, hits) + log_binomial(
         total - marked, draws - hits
     )
-    if log_num == float("-inf"):
+    if math.isinf(log_num):
         return 0.0
     return math.exp(log_num - log_den)
 

@@ -34,6 +34,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
@@ -219,7 +220,9 @@ def estimate_bots_moment(
     )
 
 
-def attacked_count_pmf(sizes, n_clients: int, n_bots: int) -> np.ndarray:
+def attacked_count_pmf(
+    sizes: Sequence[int] | np.ndarray, n_clients: int, n_bots: int
+) -> np.ndarray:
     """Approximate pmf of the attacked-replica count for arbitrary sizes.
 
     The occupancy model behind :func:`estimate_bots_mle` assumes (near-)
@@ -242,7 +245,12 @@ def attacked_count_pmf(sizes, n_clients: int, n_bots: int) -> np.ndarray:
     pmf[0] = 1.0
     filled = 0
     for qi in q:
-        if qi == 0.0:
+        # ``q`` comes from exp(log-space): impossible configurations
+        # (x_i = 0, or m = 0) produce exp(-inf), which is *exactly* 0.0,
+        # so exact equality is the correct test for "replica can never
+        # be attacked" — an epsilon would wrongly drop tiny-but-real
+        # attack probabilities from the convolution.
+        if qi == 0.0:  # exact-sentinel: exp(-inf) underflows to exact 0.0
             continue
         filled += 1
         pmf[1 : filled + 1] = (
@@ -254,7 +262,7 @@ def attacked_count_pmf(sizes, n_clients: int, n_bots: int) -> np.ndarray:
 
 def estimate_bots_weighted(
     n_attacked: int,
-    sizes,
+    sizes: Sequence[int] | np.ndarray,
     n_clients: int,
     candidates: int = 64,
 ) -> BotEstimate:

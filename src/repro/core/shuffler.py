@@ -31,12 +31,20 @@ from .greedy import greedy_plan
 from .plan import ShufflePlan
 
 __all__ = [
+    "DEFAULT_SEED",
     "Planner",
     "PLANNERS",
     "RoundResult",
     "ShuffleState",
     "ShuffleEngine",
 ]
+
+#: Seed for the engine's default generator.  Callers wanting independent
+#: streams pass their own ``rng``; the default is deliberately *fixed* so
+#: that an engine constructed without one is still bit-for-bit
+#: reproducible (reprolint rule R1 bans entropy-seeded ``default_rng()``
+#: in library code).
+DEFAULT_SEED = 20140623  # DSN 2014 — the paper's venue, June 23 2014
 
 
 class Planner(Protocol):
@@ -137,7 +145,9 @@ class ShuffleEngine:
             closed-form moment estimator.  Both estimators observe only the
             previous round's attacked-replica count, exactly like the real
             coordination server.
-        rng: numpy random generator (seeded by caller for reproducibility).
+        rng: numpy random generator (seeded by caller for independent
+            streams; defaults to ``default_rng(DEFAULT_SEED)`` so even
+            bare engines are reproducible).
         adaptive_growth: implement Section V's Theorem 1 response — when a
             round ends with *every* shuffling replica attacked (the regime
             where estimation degenerates and no client can be saved), grow
@@ -182,7 +192,9 @@ class ShuffleEngine:
         self.n_replicas = n_replicas
         self.planner = planner
         self.estimator = estimator
-        self.rng = rng if rng is not None else np.random.default_rng()
+        self.rng = (
+            rng if rng is not None else np.random.default_rng(DEFAULT_SEED)
+        )
         self.adaptive_growth = adaptive_growth
         self.growth_multiplier = growth_multiplier
         self.max_replicas = max_replicas

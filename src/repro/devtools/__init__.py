@@ -1,0 +1,43 @@
+"""repro.devtools — development tooling for the reproduction codebase.
+
+The flagship component is **reprolint**, a domain-aware static-analysis
+pass (``repro-lint`` on the command line) that machine-checks the
+invariants the paper's math demands but Python itself cannot enforce:
+
+- every stochastic path threads an explicitly seeded
+  ``numpy.random.Generator`` (rule R1) so Figures 3-12 stay reproducible;
+- hypergeometric probabilities stay in log-space (rule R2) because the
+  binomial coefficients at paper scale (``N`` up to 150,000) overflow any
+  fixed-width float — see :mod:`repro.core.combinatorics`;
+- probability code never does unguarded float equality (rule R3);
+- public APIs keep the paper's symbol vocabulary (rule R7) and the type
+  annotations ``mypy --strict`` needs (rules R5/R6).
+
+See ``docs/static-analysis.md`` for the full rule catalogue and
+suppression syntax.
+"""
+
+from __future__ import annotations
+
+from .context import FileContext
+from .registry import Rule, all_rules, get_rule, resolve_rules, rule
+from .reporters import render_json, render_text
+from .runner import LintReport, lint_paths
+from .violations import Violation
+
+# Importing the rule module registers every built-in rule.
+from . import rules as _rules  # noqa: F401
+
+__all__ = [
+    "FileContext",
+    "LintReport",
+    "Rule",
+    "Violation",
+    "all_rules",
+    "get_rule",
+    "lint_paths",
+    "render_json",
+    "render_text",
+    "resolve_rules",
+    "rule",
+]

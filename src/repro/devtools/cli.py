@@ -1,0 +1,106 @@
+"""``repro-lint`` — command-line entry point for reprolint.
+
+Usage::
+
+    repro-lint src/repro                  # lint, text report, exit 1 on hits
+    repro-lint --format json src/repro    # machine-readable output
+    repro-lint --select R1,R3 src/repro   # only the RNG + float-eq rules
+    repro-lint --ignore R5 src/repro      # everything except R5
+    repro-lint --list-rules               # rule catalogue with rationales
+
+Exit codes: 0 clean, 1 violations found, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from .registry import all_rules
+from .reporters import render_json, render_text
+from .runner import lint_paths
+
+
+def _split_ids(raw: str) -> list[str]:
+    return [part.strip() for part in raw.split(",") if part.strip()]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description=(
+            "Domain-aware static analysis for the repro codebase: "
+            "determinism, log-space numerics, and API invariants."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        help="files or directories to lint (default: src/repro if it "
+        "exists, else the current directory)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="IDS",
+        help="comma-separated rule IDs to run exclusively (e.g. R1,R3)",
+    )
+    parser.add_argument(
+        "--ignore",
+        metavar="IDS",
+        help="comma-separated rule IDs to skip",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    options = parser.parse_args(argv)
+
+    if options.list_rules:
+        for rule_obj in all_rules():
+            print(f"{rule_obj.rule_id}  {rule_obj.name}")
+            print(f"    {rule_obj.rationale}")
+        return 0
+
+    paths = [Path(p) for p in options.paths]
+    if not paths:
+        default = Path("src/repro")
+        paths = [default if default.is_dir() else Path(".")]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        parser.error(
+            "no such file or directory: "
+            + ", ".join(str(p) for p in missing)
+        )
+
+    try:
+        report = lint_paths(
+            paths,
+            select=_split_ids(options.select) if options.select else None,
+            ignore=_split_ids(options.ignore) if options.ignore else None,
+        )
+    except KeyError as exc:
+        parser.error(str(exc.args[0]) if exc.args else str(exc))
+
+    if options.format == "json":
+        print(render_json(report))
+    else:
+        print(render_text(report))
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

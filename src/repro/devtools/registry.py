@@ -1,0 +1,88 @@
+"""Rule registry: how reprolint rules declare themselves.
+
+A rule is a generator function taking a :class:`FileContext` and
+yielding ``(line, col, message)`` tuples.  The :func:`rule` decorator
+attaches the metadata (stable ID, slug, rationale) and registers it::
+
+    @rule("R9", "no-sleep", "time.sleep in library code stalls the DES")
+    def check_no_sleep(ctx):
+        for node in ast.walk(ctx.tree):
+            ...
+            yield node.lineno, node.col_offset, "time.sleep(...) call"
+
+IDs are stable contract: suppression comments, docs and CI output all
+refer to them, so they are never reused for a different invariant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator
+
+from .context import FileContext
+
+CheckFn = Callable[[FileContext], Iterator[tuple[int, int, str]]]
+
+_REGISTRY: dict[str, "Rule"] = {}
+
+
+@dataclass(frozen=True)
+class Rule:
+    """A registered lint rule."""
+
+    rule_id: str
+    name: str
+    rationale: str
+    check: CheckFn
+
+    def run(self, ctx: FileContext) -> Iterator[tuple[int, int, str]]:
+        return self.check(ctx)
+
+
+def rule(rule_id: str, name: str, rationale: str) -> Callable[[CheckFn], CheckFn]:
+    """Register ``fn`` as the implementation of ``rule_id``."""
+
+    def decorator(fn: CheckFn) -> CheckFn:
+        if rule_id in _REGISTRY:
+            raise ValueError(f"duplicate rule id {rule_id!r}")
+        _REGISTRY[rule_id] = Rule(
+            rule_id=rule_id, name=name, rationale=rationale, check=fn
+        )
+        return fn
+
+    return decorator
+
+
+def all_rules() -> tuple[Rule, ...]:
+    """Every registered rule, ordered by ID."""
+    return tuple(_REGISTRY[key] for key in sorted(_REGISTRY))
+
+
+def get_rule(rule_id: str) -> Rule:
+    try:
+        return _REGISTRY[rule_id]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY)) or "<none>"
+        raise KeyError(
+            f"unknown rule {rule_id!r}; registered rules: {known}"
+        ) from None
+
+
+def resolve_rules(
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> tuple[Rule, ...]:
+    """The active rule set after ``--select`` / ``--ignore`` filtering.
+
+    ``select`` names the only rules to run (default: all); ``ignore``
+    removes rules from that set.  Unknown IDs raise ``KeyError`` so
+    typos fail loudly instead of silently linting nothing.
+    """
+    if select is None:
+        chosen = list(all_rules())
+    else:
+        chosen = [get_rule(rule_id) for rule_id in select]
+    if ignore:
+        dropped = {get_rule(rule_id).rule_id for rule_id in ignore}
+        chosen = [r for r in chosen if r.rule_id not in dropped]
+    return tuple(sorted(chosen, key=lambda r: r.rule_id))

@@ -1,0 +1,41 @@
+"""Text and JSON renderings of a :class:`LintReport`."""
+
+from __future__ import annotations
+
+import json
+
+from .runner import LintReport
+
+
+def render_text(report: LintReport) -> str:
+    """Human-readable report: one ``path:line:col: ID message`` per hit.
+
+    The summary line always appears so CI logs show what ran even when
+    the tree is clean.
+    """
+    lines = [v.format() for v in report.violations]
+    noun = "violation" if len(report.violations) == 1 else "violations"
+    lines.append(
+        f"reprolint: {len(report.violations)} {noun} in "
+        f"{report.files_checked} files "
+        f"({len(report.rules)} rules active)"
+    )
+    return "\n".join(lines)
+
+
+def render_json(report: LintReport) -> str:
+    """Machine-readable report for editor/CI integration."""
+    payload = {
+        "violations": [v.to_dict() for v in report.violations],
+        "files_checked": report.files_checked,
+        "rules": [
+            {
+                "id": rule.rule_id,
+                "name": rule.name,
+                "rationale": rule.rationale,
+            }
+            for rule in report.rules
+        ],
+        "ok": report.ok,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,489 @@
+"""The built-in reprolint rule set (R1-R8).
+
+Each rule enforces an invariant the paper's math or the project's
+reproducibility contract depends on; the rationale strings below (and
+``docs/static-analysis.md``) tie each one back to the relevant paper
+section.  Rules are pure AST walks over the shared
+:class:`~repro.devtools.context.FileContext` — no imports of the code
+under analysis, so linting can never execute library side effects.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from .context import FileContext
+from .registry import rule
+
+Hits = Iterator[tuple[int, int, str]]
+
+#: numpy.random attributes that are part of the seeded-Generator API and
+#: therefore fine to reference; everything else on ``np.random`` is the
+#: legacy global-state interface.
+_NP_RANDOM_ALLOWED = frozenset(
+    {
+        "default_rng",
+        "Generator",
+        "BitGenerator",
+        "SeedSequence",
+        "PCG64",
+        "PCG64DXSM",
+        "Philox",
+        "SFC64",
+        "MT19937",
+    }
+)
+
+_NUMPY_ALIASES = frozenset({"np", "numpy"})
+
+#: math-module callables banned from ``core/`` by R2: they materialise
+#: full-width combinatorial integers that the log-space helpers in
+#: ``repro.core.combinatorics`` exist to avoid.
+_EXACT_COMBINATORICS = frozenset({"comb", "factorial", "perm"})
+
+#: math-module functions whose result is float-typed — used by R3 to
+#: recognise float expressions without whole-program type inference.
+_MATH_FLOAT_FUNCS = frozenset(
+    {
+        "exp",
+        "expm1",
+        "exp2",
+        "log",
+        "log1p",
+        "log2",
+        "log10",
+        "sqrt",
+        "pow",
+        "lgamma",
+        "gamma",
+        "erf",
+        "erfc",
+        "fabs",
+        "fsum",
+        "hypot",
+        "fmod",
+        "copysign",
+        "ldexp",
+        "nextafter",
+    }
+)
+
+_FLOAT_CONSTANT_ATTRS = frozenset({"inf", "nan", "e", "pi", "tau", "euler_gamma"})
+
+#: parameter names R7 rejects, mapped to the paper-vocabulary spelling
+#: (Table I: N clients, M bots, P replicas).
+_SYMBOL_ALIASES = {
+    "num_clients": "n_clients",
+    "nclients": "n_clients",
+    "n_client": "n_clients",
+    "client_count": "n_clients",
+    "total_clients": "n_clients",
+    "num_bots": "n_bots",
+    "nbots": "n_bots",
+    "n_bot": "n_bots",
+    "bot_count": "n_bots",
+    "num_attackers": "n_bots",
+    "n_attackers": "n_bots",
+    "num_replicas": "n_replicas",
+    "nreplicas": "n_replicas",
+    "n_replica": "n_replicas",
+    "replica_count": "n_replicas",
+    "num_servers": "n_replicas",
+    "n_servers": "n_replicas",
+    "server_count": "n_replicas",
+}
+
+
+def _dotted(node: ast.AST) -> str | None:
+    """``a.b.c`` as a string for Name/Attribute chains, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+@rule(
+    "R1",
+    "no-unseeded-rng",
+    "Unseeded or global RNG state silently breaks the bit-for-bit "
+    "reproducibility of Figures 3-12; every stochastic path must thread "
+    "an explicitly seeded numpy.random.Generator.",
+)
+def check_no_unseeded_rng(ctx: FileContext) -> Hits:
+    if ctx.is_test_file:
+        # Test fixtures may build ad-hoc generators (conftest seeds them
+        # anyway); the rule polices library code.
+        return
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "random" or alias.name.startswith("random."):
+                    yield (
+                        node.lineno,
+                        node.col_offset,
+                        "stdlib `random` has hidden global state; use a "
+                        "seeded numpy.random.Generator instead",
+                    )
+        elif isinstance(node, ast.ImportFrom):
+            if node.module == "random":
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    "import from stdlib `random`; use a seeded "
+                    "numpy.random.Generator instead",
+                )
+            elif node.module == "numpy.random":
+                for alias in node.names:
+                    if alias.name not in _NP_RANDOM_ALLOWED:
+                        yield (
+                            node.lineno,
+                            node.col_offset,
+                            f"`numpy.random.{alias.name}` is the legacy "
+                            "global-state API; use a seeded Generator",
+                        )
+        elif isinstance(node, ast.Call):
+            target = _dotted(node.func)
+            if target is None:
+                continue
+            parts = target.split(".")
+            if (
+                len(parts) == 3
+                and parts[0] in _NUMPY_ALIASES
+                and parts[1] == "random"
+            ):
+                attr = parts[2]
+                if attr == "seed":
+                    yield (
+                        node.lineno,
+                        node.col_offset,
+                        "np.random.seed() mutates hidden global state; "
+                        "pass a seeded Generator instead",
+                    )
+                elif attr not in _NP_RANDOM_ALLOWED:
+                    yield (
+                        node.lineno,
+                        node.col_offset,
+                        f"legacy global sampler np.random.{attr}(); draw "
+                        "from a seeded Generator instead",
+                    )
+            if parts[-1] == "default_rng" and not node.args and not node.keywords:
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    "default_rng() without a seed is entropy-seeded and "
+                    "unreproducible; pass an int seed, SeedSequence, or "
+                    "parent Generator",
+                )
+
+
+@rule(
+    "R2",
+    "log-space-combinatorics",
+    "Binomial coefficients overflow any float at paper scale (N up to "
+    "150,000), so core/ must use the lgamma-based helpers in "
+    "repro.core.combinatorics, never exact math.comb/factorial.",
+)
+def check_log_space_combinatorics(ctx: FileContext) -> Hits:
+    if not ctx.in_package("core"):
+        return
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ImportFrom):
+            if node.module in {"math", "scipy.special"}:
+                for alias in node.names:
+                    if alias.name in _EXACT_COMBINATORICS:
+                        yield (
+                            node.lineno,
+                            node.col_offset,
+                            f"import of exact `{node.module}.{alias.name}`"
+                            " in core/; use the log-space helpers in "
+                            "repro.core.combinatorics",
+                        )
+        elif isinstance(node, ast.Call):
+            target = _dotted(node.func)
+            if target is None:
+                continue
+            parts = target.split(".")
+            if parts[-1] in _EXACT_COMBINATORICS and (
+                parts[0] in {"math", "scipy", "special"} or len(parts) == 1
+            ):
+                # Bare-name calls (len == 1) only fire when the name was
+                # imported from math/scipy.special — which R2 already
+                # flags at the import — but flagging the call too makes
+                # the report point at the actual overflow site.
+                if len(parts) == 1 and not _imports_exact_comb(ctx):
+                    continue
+                yield (
+                    node.lineno,
+                    node.col_offset,
+                    f"exact combinatorics call `{target}(...)` in core/; "
+                    "C(N, M) overflows at paper scale — use "
+                    "repro.core.combinatorics (log-space)",
+                )
+
+
+def _imports_exact_comb(ctx: FileContext) -> bool:
+    for node in ast.walk(ctx.tree):
+        if isinstance(node, ast.ImportFrom) and node.module in {
+            "math",
+            "scipy.special",
+        }:
+            if any(a.name in _EXACT_COMBINATORICS for a in node.names):
+                return True
+    return False
+
+
+@rule(
+    "R3",
+    "no-float-equality",
+    "Probabilities come out of exp/lgamma pipelines where == comparison "
+    "is numerically meaningless; the only sound exact comparisons are "
+    "the 0.0/1.0 sentinels produced by exp(-inf) and the m == 0 branch, "
+    "and those must be marked `# exact-sentinel: <why>`.",
+)
+def check_no_float_equality(ctx: FileContext) -> Hits:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, ast.Compare):
+            continue
+        operands = [node.left, *node.comparators]
+        for index, op in enumerate(node.ops):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            left, right = operands[index], operands[index + 1]
+            floaty = next(
+                (x for x in (left, right) if _is_float_expr(x)), None
+            )
+            if floaty is None:
+                continue
+            if _is_sentinel_literal(floaty) and ctx.suppressions.has_sentinel(
+                floaty.lineno
+            ):
+                continue
+            wording = (
+                "float equality against sentinel "
+                f"{ast.unparse(floaty)} needs an `# exact-sentinel: "
+                "<why>` marker"
+                if _is_sentinel_literal(floaty)
+                else "==/!= on a float-typed expression; use math.isclose,"
+                " an epsilon, or math.isinf/isnan"
+            )
+            yield floaty.lineno, floaty.col_offset, wording
+
+
+def _is_float_expr(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        return _is_float_expr(node.operand)
+    if isinstance(node, ast.Call):
+        target = _dotted(node.func)
+        if target == "float":
+            return True
+        if target is not None:
+            parts = target.split(".")
+            if (
+                len(parts) == 2
+                and parts[0] == "math"
+                and parts[1] in _MATH_FLOAT_FUNCS
+            ):
+                return True
+    if isinstance(node, ast.Attribute):
+        target = _dotted(node)
+        if target is not None:
+            parts = target.split(".")
+            return (
+                len(parts) == 2
+                and parts[0] in (_NUMPY_ALIASES | {"math"})
+                and parts[1] in _FLOAT_CONSTANT_ATTRS
+            )
+    return False
+
+
+def _is_sentinel_literal(node: ast.AST) -> bool:
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        node = node.operand
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, float)
+        and node.value in (0.0, 1.0)
+    )
+
+
+@rule(
+    "R4",
+    "no-mutable-defaults",
+    "A mutable default is shared across calls, so one simulation run can "
+    "leak accumulated state into the next and break run-to-run "
+    "determinism.",
+)
+def check_no_mutable_defaults(ctx: FileContext) -> Hits:
+    for node in ast.walk(ctx.tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if _is_mutable_literal(default):
+                yield (
+                    default.lineno,
+                    default.col_offset,
+                    f"mutable default `{ast.unparse(default)}` in "
+                    f"`{node.name}()`; default to None and create the "
+                    "container inside the function",
+                )
+
+
+def _is_mutable_literal(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set)):
+        return True
+    if isinstance(node, (ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        target = _dotted(node.func)
+        return target in {
+            "list",
+            "dict",
+            "set",
+            "bytearray",
+            "collections.defaultdict",
+            "defaultdict",
+            "collections.deque",
+            "deque",
+        }
+    return False
+
+
+@rule(
+    "R5",
+    "future-annotations",
+    "`from __future__ import annotations` keeps annotations lazy (no "
+    "import-time evaluation cost on hot paths) and lets every module use "
+    "PEP 604/585 syntax uniformly on Python 3.10.",
+)
+def check_future_annotations(ctx: FileContext) -> Hits:
+    if ctx.module_is_trivial:
+        return
+    for node in ctx.tree.body:
+        if (
+            isinstance(node, ast.ImportFrom)
+            and node.module == "__future__"
+            and any(alias.name == "annotations" for alias in node.names)
+        ):
+            return
+    yield (
+        1,
+        0,
+        "module is missing `from __future__ import annotations`",
+    )
+
+
+@rule(
+    "R6",
+    "core-api-annotations",
+    "core/ is the algorithmic contract of the reproduction; full "
+    "annotations on its public surface are what `mypy --strict` checks, "
+    "so refactors cannot silently change argument meanings.",
+)
+def check_core_api_annotations(ctx: FileContext) -> Hits:
+    if not ctx.in_package("core"):
+        return
+    for fn, is_method in _public_functions(ctx.tree):
+        missing: list[str] = []
+        args = list(fn.args.posonlyargs) + list(fn.args.args)
+        if is_method and args:
+            args = args[1:]  # self / cls
+        args += list(fn.args.kwonlyargs)
+        if fn.args.vararg is not None:
+            args.append(fn.args.vararg)
+        if fn.args.kwarg is not None:
+            args.append(fn.args.kwarg)
+        missing.extend(a.arg for a in args if a.annotation is None)
+        if fn.returns is None:
+            missing.append("return")
+        if missing:
+            yield (
+                fn.lineno,
+                fn.col_offset,
+                f"public core function `{fn.name}` is missing type "
+                f"annotations for: {', '.join(missing)}",
+            )
+
+
+def _public_functions(
+    tree: ast.Module,
+) -> Iterator[tuple[ast.FunctionDef | ast.AsyncFunctionDef, bool]]:
+    """Public module-level functions and methods of public classes.
+
+    Nested functions are implementation detail and skipped; methods are
+    yielded with ``is_method=True`` so the receiver arg is exempt.
+    """
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if not node.name.startswith("_"):
+                yield node, False
+        elif isinstance(node, ast.ClassDef) and not node.name.startswith("_"):
+            for item in node.body:
+                if isinstance(
+                    item, (ast.FunctionDef, ast.AsyncFunctionDef)
+                ) and not item.name.startswith("_"):
+                    is_static = any(
+                        isinstance(d, ast.Name) and d.id == "staticmethod"
+                        for d in item.decorator_list
+                    )
+                    yield item, not is_static
+
+
+@rule(
+    "R7",
+    "paper-symbol-naming",
+    "Public APIs keep the paper's Table I vocabulary (n_clients = N, "
+    "n_bots = M, n_replicas = P) so call sites read against the math; "
+    "synonyms drift and break keyword-argument compatibility.",
+)
+def check_paper_symbol_naming(ctx: FileContext) -> Hits:
+    for fn, is_method in _public_functions(ctx.tree):
+        args = (
+            list(fn.args.posonlyargs)
+            + list(fn.args.args)
+            + list(fn.args.kwonlyargs)
+        )
+        if is_method and args:
+            args = args[1:]
+        for arg in args:
+            canonical = _SYMBOL_ALIASES.get(arg.arg)
+            if canonical is not None:
+                yield (
+                    arg.lineno,
+                    arg.col_offset,
+                    f"parameter `{arg.arg}` of public `{fn.name}` "
+                    f"should use the paper symbol name `{canonical}`",
+                )
+
+
+@rule(
+    "R8",
+    "no-print-in-library",
+    "Library layers report through return values and logging; print() "
+    "in core/sim/cloudsim/analysis corrupts the CSV/JSON streams the "
+    "experiment drivers own (experiments/ and devtools/ are the CLI "
+    "surface and exempt).",
+)
+def check_no_print_in_library(ctx: FileContext) -> Hits:
+    if ctx.in_package("experiments") or ctx.in_package("devtools"):
+        return
+    for node in ast.walk(ctx.tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+        ):
+            yield (
+                node.lineno,
+                node.col_offset,
+                "print() in library code; return the value or use logging",
+            )

@@ -1,0 +1,89 @@
+"""File discovery and rule execution for reprolint."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Iterator, Sequence
+
+from .context import FileContext
+from .registry import Rule, resolve_rules
+from .violations import Violation
+
+#: directory names never worth linting
+_SKIP_DIRS = frozenset(
+    {"__pycache__", ".git", ".venv", "venv", "build", "dist"}
+)
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run."""
+
+    violations: list[Violation] = field(default_factory=list)
+    files_checked: int = 0
+    rules: tuple[Rule, ...] = ()
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Expand files/directories into the .py files to lint, sorted."""
+    seen: set[Path] = set()
+    for path in paths:
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            if any(
+                part in _SKIP_DIRS or part.endswith(".egg-info")
+                for part in candidate.parts
+            ):
+                continue
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+def lint_file(path: Path, rules: Sequence[Rule]) -> list[Violation]:
+    """Run ``rules`` over one file, honouring suppression comments.
+
+    A file that fails to parse yields a single synthetic ``PARSE``
+    violation instead of crashing the whole run: the linter must keep
+    working mid-refactor, when some files are transiently broken.
+    """
+    try:
+        ctx = FileContext.from_path(path)
+    except (SyntaxError, UnicodeDecodeError) as exc:
+        line = getattr(exc, "lineno", 1) or 1
+        return [
+            Violation.at("PARSE", path, line, 0, f"could not parse: {exc}")
+        ]
+    found: list[Violation] = []
+    for rule_obj in rules:
+        for line, col, message in rule_obj.run(ctx):
+            if ctx.suppressions.is_suppressed(rule_obj.rule_id, line):
+                continue
+            found.append(
+                Violation.at(rule_obj.rule_id, path, line, col, message)
+            )
+    return found
+
+
+def lint_paths(
+    paths: Iterable[Path | str],
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> LintReport:
+    """Lint every Python file under ``paths`` with the active rule set."""
+    rules = resolve_rules(select=select, ignore=ignore)
+    report = LintReport(rules=rules)
+    for path in iter_python_files(Path(p) for p in paths):
+        report.files_checked += 1
+        report.violations.extend(lint_file(path, rules))
+    report.violations.sort()
+    return report

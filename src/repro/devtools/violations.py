@@ -1,0 +1,55 @@
+"""The :class:`Violation` record every reprolint rule emits."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+
+@dataclass(frozen=True, order=True)
+class Violation:
+    """One rule breach at one source location.
+
+    Ordering is (path, line, col, rule_id) so reports read top-to-bottom
+    per file regardless of which rule fired first.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+
+    @classmethod
+    def at(
+        cls,
+        rule_id: str,
+        path: Path | str,
+        line: int,
+        col: int,
+        message: str,
+    ) -> "Violation":
+        return cls(
+            path=str(path),
+            line=line,
+            col=col,
+            rule_id=rule_id,
+            message=message,
+        )
+
+    def format(self) -> str:
+        """Render as the conventional ``path:line:col: ID message``."""
+        return (
+            f"{self.path}:{self.line}:{self.col}: "
+            f"{self.rule_id} {self.message}"
+        )
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "rule": self.rule_id,
+            "message": self.message,
+        }

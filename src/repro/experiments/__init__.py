@@ -18,6 +18,8 @@ Drivers: ``fig3`` (greedy vs DP), ``fig4`` (greedy vs even), ``fig5``
 (the abstract's 60-shuffle claim).
 """
 
+from __future__ import annotations
+
 from . import (  # noqa: F401  (re-exported driver modules)
     ablations,
     fig3,

@@ -1,5 +1,7 @@
 """``python -m repro.experiments`` dispatch."""
 
+from __future__ import annotations
+
 import sys
 
 from .runner import main

@@ -8,6 +8,8 @@
 - :mod:`~repro.sim.stats` — mean / confidence-interval reporting.
 """
 
+from __future__ import annotations
+
 from .arrivals import PAPER_BENIGN_RATE, PAPER_BOT_RATE, PoissonArrivals
 from .campaign import (
     AttackWave,

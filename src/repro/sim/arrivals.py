@@ -14,6 +14,7 @@ clients, because fewer bots have shown up yet).
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -70,7 +71,7 @@ class PoissonArrivals:
             return 0
         draw = int(rng.poisson(rate))
         remaining = cap - arrived
-        if remaining != float("inf"):
+        if math.isfinite(remaining):
             draw = min(draw, int(remaining))
         return draw
 
