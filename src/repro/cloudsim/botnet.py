@@ -85,10 +85,15 @@ class Botnet:
         self.hit_list.pop(address, None)
 
     def targets(self) -> list[str]:
-        """Addresses the naive fleet is currently flooding."""
+        """Addresses the naive fleet is currently flooding.
+
+        Sorted by address so flood delivery (and the replica-load events
+        it schedules) has a canonical order independent of reveal
+        history.
+        """
         return [
             entry.address
-            for entry in self.hit_list.values()
+            for _, entry in sorted(self.hit_list.items())
             if entry.active_since <= self.ctx.now
         ]
 
@@ -135,7 +140,7 @@ class Botnet:
         """
         expired = [
             address
-            for address, dead_at in self._dead_since.items()
+            for address, dead_at in sorted(self._dead_since.items())
             if self.ctx.now - dead_at >= self.prune_delay
         ]
         for address in expired:

@@ -182,10 +182,12 @@ class Coordinator:
         already provisioned substitutes.
         """
         baseline = self.ctx.config.initial_replicas_per_domain
-        for domain, balancer in self.ctx.balancers.items():
+        # Canonical domain/address order: replacement boots and
+        # scale-down retirements must not depend on mapping history.
+        for domain, balancer in sorted(self.ctx.balancers.items()):
             live = [
                 replica
-                for replica in balancer.replicas.values()
+                for _, replica in sorted(balancer.replicas.items())
                 if replica.state.value in ("active", "booting")
             ]
             for _ in range(max(0, baseline - len(live))):
@@ -223,7 +225,11 @@ class Coordinator:
         clients: list[tuple[str, object, ReplicaServer]] = []
         for replica in attacked:
             replica.shuffling = True
-            for client_id, client in replica.assigned_clients.items():
+            # Canonical client order before the rng.shuffle below: the
+            # permutation consumed must not depend on admission history.
+            for client_id, client in sorted(
+                replica.assigned_clients.items()
+            ):
                 clients.append((client_id, client, replica))
         n_clients = len(clients)
 

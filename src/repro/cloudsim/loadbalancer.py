@@ -108,7 +108,15 @@ class LoadBalancer:
         self.replicas.pop(address, None)
 
     def active_replicas(self) -> list[ReplicaServer]:
-        return [r for r in self.replicas.values() if r.is_active]
+        """Active replicas in canonical (address-sorted) order.
+
+        Client assignment draws from this list with the session RNG;
+        sorting keeps the draw outcome independent of registration
+        history.
+        """
+        return [
+            r for _, r in sorted(self.replicas.items()) if r.is_active
+        ]
 
     # ------------------------------------------------------------------
     # client assignment (steps 3-4 of the paper's Figure 1)

@@ -69,7 +69,7 @@ class SpoofingFlooder:
         # attacker observes nothing.  No whitelist mutation, no replica
         # load — this is precisely the structural claim, and the replica
         # assertion lives in the tests: their meters stay untouched.
-        for balancer in self.ctx.balancers.values():
+        for _, balancer in sorted(self.ctx.balancers.items()):
             balancer.spoofed_packets += batch / max(
                 1, len(self.ctx.balancers)
             )

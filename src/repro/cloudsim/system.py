@@ -143,14 +143,19 @@ class CloudContext:
         return self._replicas.get(endpoint.address)
 
     def active_replicas(self) -> list[ReplicaServer]:
-        return [r for r in self._replicas.values() if r.is_active]
+        """Active replicas in canonical (address-sorted) order, so the
+        detection sweep and shuffle planning see a history-independent
+        replica sequence."""
+        return [
+            r for _, r in sorted(self._replicas.items()) if r.is_active
+        ]
 
     def all_replicas(self) -> list[ReplicaServer]:
         return list(self._replicas.values())
 
     def record_binding(self, client_id: str, replica: ReplicaServer) -> None:
         """Refresh sticky-session memory after a shuffle re-binding."""
-        for balancer in self.balancers.values():
+        for _, balancer in sorted(self.balancers.items()):
             if client_id in balancer.assignments:
                 balancer.record_shuffle_assignment(client_id, replica)
 

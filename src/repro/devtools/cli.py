@@ -2,13 +2,17 @@
 
 Usage::
 
-    repro-lint src/repro                  # lint, text report, exit 1 on hits
+    repro-lint src/repro                  # file rules, text report
+    repro-lint --project src/repro        # + whole-program rules P1-P5
+    repro-lint --project --baseline .reprolint-baseline.json src/repro
+    repro-lint --project --write-baseline src/repro   # reset the ratchet
+    repro-lint --graph docs/import-graph.dot src/repro  # export graph
     repro-lint --format json src/repro    # machine-readable output
-    repro-lint --select R1,R3 src/repro   # only the RNG + float-eq rules
-    repro-lint --ignore R5 src/repro      # everything except R5
+    repro-lint --select R1,P3 src/repro   # subset across both scopes
     repro-lint --list-rules               # rule catalogue with rationales
 
-Exit codes: 0 clean, 1 violations found, 2 usage error.
+Exit codes: 0 clean, 1 violations found (or stale baseline entries),
+2 usage error.
 """
 
 from __future__ import annotations
@@ -18,9 +22,16 @@ import sys
 from pathlib import Path
 from typing import Sequence
 
-from .registry import all_rules
+from .registry import all_project_rules, all_rules
 from .reporters import render_json, render_text
-from .runner import lint_paths
+from .runner import (
+    find_package_root,
+    default_consumer_roots,
+    lint_paths,
+    lint_project,
+)
+
+DEFAULT_BASELINE = Path(".reprolint-baseline.json")
 
 
 def _split_ids(raw: str) -> list[str]:
@@ -32,7 +43,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-lint",
         description=(
             "Domain-aware static analysis for the repro codebase: "
-            "determinism, log-space numerics, and API invariants."
+            "determinism, log-space numerics, API invariants, and "
+            "whole-program contracts (import layering, RNG provenance, "
+            "determinism dataflow)."
         ),
     )
     parser.add_argument(
@@ -50,7 +63,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--select",
         metavar="IDS",
-        help="comma-separated rule IDs to run exclusively (e.g. R1,R3)",
+        help="comma-separated rule IDs to run exclusively (e.g. R1,P3)",
     )
     parser.add_argument(
         "--ignore",
@@ -58,11 +71,68 @@ def build_parser() -> argparse.ArgumentParser:
         help="comma-separated rule IDs to skip",
     )
     parser.add_argument(
+        "--project",
+        action="store_true",
+        help="also run the whole-program rules (P1-P5) over the tree",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="FILE",
+        nargs="?",
+        const=str(DEFAULT_BASELINE),
+        help="ratchet file of pre-existing violations (implies "
+        f"--project; default file: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="rewrite the baseline file from the current violations "
+        "and exit 0 (implies --project)",
+    )
+    parser.add_argument(
+        "--graph",
+        metavar="FILE",
+        help="export the module import graph (implies --project; "
+        "Graphviz dot, or JSON when FILE ends in .json; '-' for stdout)",
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print the rule catalogue and exit",
     )
     return parser
+
+
+def _export_graph(destination: str, paths: list[Path]) -> int:
+    import json as _json
+
+    from .program.context import ProgramContext
+    from .program.graph import render_dot, render_graph_json
+
+    package_root = find_package_root(paths)
+    if package_root is None:
+        print(
+            "repro-lint: --graph needs a package directory", file=sys.stderr
+        )
+        return 2
+    program = ProgramContext.build(
+        package_root, consumer_roots=default_consumer_roots(package_root)
+    )
+    if destination.endswith(".json"):
+        rendered = _json.dumps(
+            render_graph_json(program), indent=2, sort_keys=True
+        )
+    else:
+        rendered = render_dot(program)
+    if destination == "-":
+        print(rendered)
+    else:
+        Path(destination).write_text(
+            rendered if rendered.endswith("\n") else rendered + "\n",
+            encoding="utf-8",
+        )
+        print(f"repro-lint: import graph written to {destination}")
+    return 0
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -73,7 +143,18 @@ def main(argv: Sequence[str] | None = None) -> int:
         for rule_obj in all_rules():
             print(f"{rule_obj.rule_id}  {rule_obj.name}")
             print(f"    {rule_obj.rationale}")
+        for rule_obj in all_project_rules():
+            print(f"{rule_obj.rule_id}  {rule_obj.name}  [project]")
+            print(f"    {rule_obj.rationale}")
         return 0
+
+    if options.baseline and Path(options.baseline).is_dir():
+        # argparse's optional-argument greediness: `--baseline src/repro`
+        # binds the path meant as a positional.  Catch it early.
+        parser.error(
+            f"--baseline got a directory ({options.baseline}); use "
+            "--baseline=FILE, or put --baseline after the paths"
+        )
 
     paths = [Path(p) for p in options.paths]
     if not paths:
@@ -86,12 +167,52 @@ def main(argv: Sequence[str] | None = None) -> int:
             + ", ".join(str(p) for p in missing)
         )
 
+    project_mode = bool(
+        options.project
+        or options.baseline
+        or options.write_baseline
+        or options.graph
+    )
+    select = _split_ids(options.select) if options.select else None
+    ignore = _split_ids(options.ignore) if options.ignore else None
+
+    if options.graph:
+        status = _export_graph(options.graph, paths)
+        if status != 0 or not (
+            options.project or options.baseline or options.write_baseline
+        ):
+            return status
+
     try:
-        report = lint_paths(
-            paths,
-            select=_split_ids(options.select) if options.select else None,
-            ignore=_split_ids(options.ignore) if options.ignore else None,
-        )
+        if project_mode:
+            baseline_path = (
+                Path(options.baseline)
+                if options.baseline
+                else (DEFAULT_BASELINE if not options.write_baseline else None)
+            )
+            if options.write_baseline:
+                report = lint_project(paths, select=select, ignore=ignore)
+                target = Path(options.baseline or DEFAULT_BASELINE)
+                from .program import write_baseline
+
+                write_baseline(target, report.violations)
+                print(
+                    f"repro-lint: baseline written to {target} "
+                    f"({len(report.violations)} entries)"
+                )
+                return 0
+            report = lint_project(
+                paths,
+                select=select,
+                ignore=ignore,
+                baseline_path=(
+                    baseline_path
+                    if baseline_path and baseline_path.exists()
+                    else None
+                ),
+            )
+        else:
+            report = lint_paths(paths, select=select, ignore=ignore)
     except KeyError as exc:
         parser.error(str(exc.args[0]) if exc.args else str(exc))
 

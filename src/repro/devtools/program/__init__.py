@@ -1,0 +1,66 @@
+"""repro.devtools.program — whole-program analysis for reprolint.
+
+Per-file rules (R1-R8) police invariants visible inside one module, but
+the reproducibility contract the paper's math depends on is
+*cross-module*: the seeded ``numpy.random.Generator`` must flow from the
+scenario configuration into every stochastic component, event order in
+the DES must never depend on ``set``/``dict`` hash order, and package
+layering must keep the algorithmic ``core`` free of simulator
+dependencies.  This subpackage builds one :class:`ProgramContext` over
+the whole tree — module index, import graph, approximate call graph —
+and runs the project rules (P1-P5) on it:
+
+- **P1** ``import-layering`` — declared package layering contract over
+  the import graph (``core`` -> stdlib/numpy only; ``sim``/``analysis``
+  -> ``core``; ``cloudsim`` -> ``core``+``sim``; ``experiments`` ->
+  anything; ``devtools`` isolated), with dot/JSON graph export.
+- **P2** ``rng-provenance`` — interprocedural tracking of Generator
+  construction: flags call paths through which ``sim``/``cloudsim`` can
+  reach an entropy-seeded ``default_rng()`` (directly, via a
+  seed-forwarding helper called without a seed, or via a dataclass
+  ``default_factory``).
+- **P3** ``unordered-iteration`` — iteration over ``set``s or unsorted
+  ``dict`` views inside functions from which DES ``schedule()`` calls,
+  heap pushes, or client admissions are reachable.
+- **P4** ``no-wall-clock`` — wall-clock reads (``time.time``,
+  ``datetime.now``, ...) inside the simulator layers.
+- **P5** ``dead-export`` — ``__init__``/``__all__`` exports that no
+  other module (including tests/examples) actually uses, plus exports
+  that do not resolve at all.
+
+See ``docs/static-analysis.md`` for the full catalogue and the
+baseline/ratchet workflow, and ``docs/import-graph.md`` for the rendered
+layering graph.
+"""
+
+from __future__ import annotations
+
+from .baseline import (
+    Baseline,
+    BaselineComparison,
+    compare,
+    load_baseline,
+    write_baseline,
+)
+from .context import ModuleInfo, ProgramContext
+from .graph import LAYER_CONTRACT, ImportEdge, render_dot, render_graph_json
+
+# Importing the pass modules registers every project rule (P1-P5).
+from . import api as _api  # noqa: F401
+from . import determinism as _determinism  # noqa: F401
+from . import graph as _graph  # noqa: F401
+from . import rng as _rng  # noqa: F401
+
+__all__ = [
+    "Baseline",
+    "BaselineComparison",
+    "ImportEdge",
+    "LAYER_CONTRACT",
+    "ModuleInfo",
+    "ProgramContext",
+    "compare",
+    "load_baseline",
+    "render_dot",
+    "render_graph_json",
+    "write_baseline",
+]

@@ -1,0 +1,135 @@
+"""Baseline ("ratchet") support for reprolint.
+
+A committed baseline file lists violations that predate a rule: CI
+fails on anything *new* while the debt is burned down explicitly.  The
+mechanism is deliberately strict in both directions —
+
+- a violation not in the baseline **fails** the run (the ratchet never
+  loosens);
+- a baseline entry that no longer fires is **stale** and also fails the
+  run, forcing ``--write-baseline`` so the committed debt record always
+  matches reality (the ratchet audibly tightens).
+
+Entries are fingerprinted by ``(rule, path, message)`` — deliberately
+*not* the line number, so unrelated edits that shift code do not churn
+the file.  Identical violations on several lines of one file collapse
+into one entry with a count.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+
+from ..violations import Violation
+
+__all__ = [
+    "Baseline",
+    "BaselineComparison",
+    "load_baseline",
+    "write_baseline",
+]
+
+_VERSION = 1
+
+
+def _fingerprint(violation: Violation) -> tuple[str, str, str]:
+    return (
+        violation.rule_id,
+        PurePosixPath(violation.path).as_posix(),
+        violation.message,
+    )
+
+
+@dataclass
+class Baseline:
+    """The committed debt record: fingerprint -> allowed count."""
+
+    entries: dict[tuple[str, str, str], int] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return sum(self.entries.values())
+
+
+@dataclass
+class BaselineComparison:
+    """Outcome of holding a report against the baseline."""
+
+    new: list[Violation] = field(default_factory=list)
+    baselined: list[Violation] = field(default_factory=list)
+    stale: list[dict] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.new and not self.stale
+
+
+def load_baseline(path: Path | str) -> Baseline:
+    path = Path(path)
+    if not path.exists():
+        return Baseline()
+    payload = json.loads(path.read_text(encoding="utf-8"))
+    if payload.get("version") != _VERSION:
+        raise ValueError(
+            f"unsupported baseline version in {path}: "
+            f"{payload.get('version')!r}"
+        )
+    baseline = Baseline()
+    for entry in payload.get("entries", []):
+        key = (entry["rule"], entry["path"], entry["message"])
+        baseline.entries[key] = int(entry.get("count", 1))
+    return baseline
+
+
+def write_baseline(path: Path | str, violations: list[Violation]) -> None:
+    """Serialize ``violations`` as the new committed baseline."""
+    counts: dict[tuple[str, str, str], int] = {}
+    for violation in violations:
+        key = _fingerprint(violation)
+        counts[key] = counts.get(key, 0) + 1
+    payload = {
+        "version": _VERSION,
+        "_comment": (
+            "reprolint ratchet: pre-existing violations being burned "
+            "down. Never add entries by hand; run "
+            "`repro-lint --project --write-baseline` and justify the "
+            "change in the PR."
+        ),
+        "entries": [
+            {"rule": rule, "path": file_path, "message": message,
+             "count": count}
+            for (rule, file_path, message), count in sorted(counts.items())
+        ],
+    }
+    Path(path).write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+
+
+def compare(
+    baseline: Baseline, violations: list[Violation]
+) -> BaselineComparison:
+    """Split ``violations`` into new vs. baselined, and find stale debt."""
+    remaining = dict(baseline.entries)
+    comparison = BaselineComparison()
+    for violation in sorted(violations):
+        key = _fingerprint(violation)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+            comparison.baselined.append(violation)
+        else:
+            comparison.new.append(violation)
+    for (rule, file_path, message), count in sorted(remaining.items()):
+        if count > 0:
+            comparison.stale.append(
+                {
+                    "rule": rule,
+                    "path": file_path,
+                    "message": message,
+                    "count": count,
+                }
+            )
+    return comparison

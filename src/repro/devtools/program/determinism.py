@@ -1,0 +1,400 @@
+"""Rules P3/P4: determinism dataflow across the simulator.
+
+**P3** — shuffle outcomes (paper Eq. 1 / Algorithm 1) are reproducible
+only if DES event order never depends on hash order.  ``set`` iteration
+order varies with ``PYTHONHASHSEED``; ``dict`` views are
+insertion-ordered, which is deterministic per run but *history*-coupled
+— two refactors that build the same mapping in different orders produce
+different event interleavings and different RNG consumption.  The pass
+therefore builds the program call graph, marks every function from
+which a DES ``schedule()``/``schedule_at()`` call or heap push is
+reachable ("event-affecting"), and flags iteration over sets and
+unsorted dict views inside event-affecting functions (or functions
+event-affecting code calls) in the simulator layers.  Iterations whose
+loop body draws from an RNG are flagged regardless, since draw order is
+part of the reproducibility contract.
+
+**P4** — the simulator's only clock is ``Simulator.now``.  A wall-clock
+read (``time.time``, ``datetime.now``, ...) inside ``sim``/``cloudsim``
+couples results to the host machine; ``time.sleep`` stalls the DES.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator
+
+from ..registry import project_rule
+from .callgraph import CallGraph, build_call_graph
+from .context import ModuleInfo, ProgramContext
+
+__all__ = ["event_affecting_functions"]
+
+_SIM_LAYERS = frozenset({"sim", "cloudsim"})
+
+#: attribute names that put a callback on the DES event queue or a heap.
+_SCHEDULING_ATTRS = frozenset(
+    {"schedule", "schedule_at", "heappush", "heapify", "heappushpop"}
+)
+_SCHEDULING_NAMES = frozenset({"heappush", "heapify", "heappushpop"})
+
+#: Generator draw methods: consuming randomness inside an unordered
+#: loop makes the stream depend on iteration order.
+_RNG_DRAWS = frozenset(
+    {
+        "shuffle",
+        "permutation",
+        "choice",
+        "integers",
+        "random",
+        "uniform",
+        "normal",
+        "exponential",
+        "poisson",
+        "binomial",
+        "geometric",
+        "standard_normal",
+    }
+)
+
+_DICT_VIEWS = frozenset({"keys", "values", "items"})
+#: wrappers that preserve the order of what they wrap — look through.
+_ORDER_PRESERVING = frozenset(
+    {"list", "tuple", "enumerate", "reversed", "iter"}
+)
+_SET_ANNOTATIONS = frozenset({"set", "frozenset", "Set", "FrozenSet"})
+_DICT_ANNOTATIONS = frozenset(
+    {"dict", "Dict", "defaultdict", "DefaultDict", "OrderedDict", "Mapping"}
+)
+
+
+def event_affecting_functions(graph: CallGraph) -> set[str]:
+    """Functions from which an event-queue mutation is reachable."""
+    seeds: set[str] = set()
+    for qualname, fn in graph.functions.items():
+        for node in ast.walk(fn.node):
+            if isinstance(node, ast.Call) and _is_scheduling_call(node):
+                seeds.add(qualname)
+                break
+    return graph.transitive_callers(seeds)
+
+
+def _is_scheduling_call(call: ast.Call) -> bool:
+    func = call.func
+    if isinstance(func, ast.Attribute):
+        return func.attr in _SCHEDULING_ATTRS
+    if isinstance(func, ast.Name):
+        return func.id in _SCHEDULING_NAMES
+    return False
+
+
+# ----------------------------------------------------------------------
+# annotation harvesting
+# ----------------------------------------------------------------------
+def _annotation_kind(annotation: ast.AST | None) -> str | None:
+    """"set" / "dict" / None for a type annotation node."""
+    if annotation is None:
+        return None
+    node = annotation
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        try:
+            node = ast.parse(node.value, mode="eval").body
+        except SyntaxError:
+            return None
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    name = None
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    if name in _SET_ANNOTATIONS:
+        return "set"
+    if name in _DICT_ANNOTATIONS:
+        return "dict"
+    return None
+
+
+def _attribute_kinds(info: ModuleInfo) -> dict[str, str]:
+    """attr name -> "set"/"dict" from class-level and self annotations."""
+    kinds: dict[str, str] = {}
+    for node in ast.walk(info.ctx.tree):
+        if isinstance(node, ast.AnnAssign):
+            kind = _annotation_kind(node.annotation)
+            if kind is None:
+                continue
+            target = node.target
+            if isinstance(target, ast.Name):
+                kinds[target.id] = kind
+            elif (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                kinds[target.attr] = kind
+    return kinds
+
+
+def _local_kinds(fn_node: ast.AST) -> dict[str, str]:
+    """Local/param name -> "set"/"dict" inside one function."""
+    kinds: dict[str, str] = {}
+    if isinstance(fn_node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        args = fn_node.args
+        for arg in (
+            list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+        ):
+            kind = _annotation_kind(arg.annotation)
+            if kind is not None:
+                kinds[arg.arg] = kind
+    for node in ast.walk(fn_node):
+        if isinstance(node, ast.AnnAssign) and isinstance(
+            node.target, ast.Name
+        ):
+            kind = _annotation_kind(node.annotation)
+            if kind is not None:
+                kinds[node.target.id] = kind
+        elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+            target = node.targets[0]
+            if not isinstance(target, ast.Name):
+                continue
+            kind = _value_kind(node.value)
+            if kind is not None:
+                kinds[target.id] = kind
+    return kinds
+
+
+def _value_kind(value: ast.AST) -> str | None:
+    if isinstance(value, (ast.Set, ast.SetComp)):
+        return "set"
+    if isinstance(value, (ast.Dict, ast.DictComp)):
+        return "dict"
+    if isinstance(value, ast.Call) and isinstance(value.func, ast.Name):
+        if value.func.id in ("set", "frozenset"):
+            return "set"
+        if value.func.id in ("dict", "defaultdict", "OrderedDict"):
+            return "dict"
+    return None
+
+
+# ----------------------------------------------------------------------
+# iterable classification
+# ----------------------------------------------------------------------
+def _classify_iterable(
+    node: ast.AST,
+    local_kinds: dict[str, str],
+    attr_kinds: dict[str, str],
+) -> str | None:
+    """"set" / "dict-view" when iterating ``node`` is order-unstable."""
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id == "sorted":
+                return None
+            if func.id in ("set", "frozenset"):
+                return "set"
+            if func.id in _ORDER_PRESERVING and node.args:
+                return _classify_iterable(
+                    node.args[0], local_kinds, attr_kinds
+                )
+            return None
+        if isinstance(func, ast.Attribute) and func.attr in _DICT_VIEWS:
+            return "dict-view"
+        return None
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return "set"
+    if isinstance(node, ast.Name):
+        kind = local_kinds.get(node.id)
+        return {"set": "set", "dict": "dict-view"}.get(kind or "")
+    if isinstance(node, ast.Attribute):
+        if isinstance(node.value, ast.Name) and node.value.id == "self":
+            kind = attr_kinds.get(node.attr)
+        else:
+            kind = attr_kinds.get(node.attr)
+        return {"set": "set", "dict": "dict-view"}.get(kind or "")
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        left = _classify_iterable(node.left, local_kinds, attr_kinds)
+        right = _classify_iterable(node.right, local_kinds, attr_kinds)
+        if "set" in (left, right):
+            return "set"
+    return None
+
+
+def _iterations(
+    fn_node: ast.AST,
+) -> Iterator[tuple[ast.AST, ast.AST | None]]:
+    """(iterable expression, loop body container) pairs in a function.
+
+    Comprehension generators yield ``None`` for the body: their element
+    expressions cannot schedule, but their *order* still matters when
+    the result feeds event scheduling, which the enclosing-function
+    check covers.
+    """
+    for node in ast.walk(fn_node):
+        if isinstance(node, (ast.For, ast.AsyncFor)):
+            yield node.iter, node
+        elif isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+        ):
+            for generator in node.generators:
+                yield generator.iter, None
+
+
+def _draws_rng(body: ast.AST | None) -> bool:
+    if body is None:
+        return False
+    for node in ast.walk(body):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr in _RNG_DRAWS
+        ):
+            return True
+    return False
+
+
+@project_rule(
+    "P3",
+    "unordered-iteration",
+    "DES event order and RNG draw order are part of the reproducibility "
+    "contract (PYTHONHASHSEED must not change campaign metrics); "
+    "iterating a set, or an unsorted dict view, on any path that feeds "
+    "schedule()/heap pushes or consumes randomness makes event order "
+    "hash- or history-dependent — iterate sorted(...) instead.",
+)
+def check_unordered_iteration(
+    program: ProgramContext,
+) -> Iterator[tuple[Path, int, int, str]]:
+    graph = build_call_graph(program)
+    affecting = event_affecting_functions(graph)
+    called_by_affecting = {
+        target
+        for qualname in affecting
+        for site in graph.calls_in(qualname)
+        for target in site.targets
+    }
+    for qualname in sorted(graph.functions):
+        fn = graph.functions[qualname]
+        if _layer(fn.module) not in _SIM_LAYERS:
+            continue
+        info = program.modules.get(fn.module)
+        if info is None or info.ctx.is_test_file:
+            continue
+        relevant = (
+            qualname in affecting or qualname in called_by_affecting
+        )
+        attr_kinds = _attribute_kinds(info)
+        local_kinds = _local_kinds(fn.node)
+        for iterable, body in _iterations(fn.node):
+            kind = _classify_iterable(iterable, local_kinds, attr_kinds)
+            if kind is None:
+                continue
+            if not relevant and not _draws_rng(body):
+                continue
+            reason = (
+                "event order becomes PYTHONHASHSEED-dependent"
+                if kind == "set"
+                else "event order becomes insertion-history-dependent"
+            )
+            yield (
+                info.ctx.path,
+                iterable.lineno,
+                iterable.col_offset,
+                f"iteration over a {kind} in event-affecting "
+                f"`{_short(qualname)}`: {reason}; iterate "
+                "sorted(...) for a canonical order",
+            )
+
+
+@project_rule(
+    "P4",
+    "no-wall-clock",
+    "Simulation time is Simulator.now and nothing else; a wall-clock "
+    "read in sim/cloudsim couples campaign results to host speed and "
+    "breaks trace reproducibility, and time.sleep() stalls the event "
+    "loop.",
+)
+def check_no_wall_clock(
+    program: ProgramContext,
+) -> Iterator[tuple[Path, int, int, str]]:
+    for info in program.project_modules():
+        if _layer(info.name) not in _SIM_LAYERS or info.ctx.is_test_file:
+            continue
+        banned_bare = _wall_clock_bare_names(info)
+        for node in ast.walk(info.ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            offense = _wall_clock_offense(node.func, banned_bare)
+            if offense is not None:
+                yield (
+                    info.ctx.path,
+                    node.lineno,
+                    node.col_offset,
+                    f"wall-clock read `{offense}` in the simulator; use "
+                    "the DES clock (ctx.now / Simulator.now)",
+                )
+
+
+_WALL_CLOCK_TIME_ATTRS = frozenset(
+    {
+        "time",
+        "time_ns",
+        "monotonic",
+        "monotonic_ns",
+        "perf_counter",
+        "perf_counter_ns",
+        "process_time",
+        "process_time_ns",
+        "sleep",
+    }
+)
+_WALL_CLOCK_DT_ATTRS = frozenset({"now", "utcnow", "today"})
+
+
+def _wall_clock_bare_names(info: ModuleInfo) -> dict[str, str]:
+    """Locally bound names that are wall-clock reads (from-imports)."""
+    banned: dict[str, str] = {}
+    for record in info.imports:
+        if record.target == "time":
+            for local, original in record.bindings():
+                if original in _WALL_CLOCK_TIME_ATTRS:
+                    banned[local] = f"time.{original}"
+    return banned
+
+
+def _wall_clock_offense(
+    func: ast.AST, banned_bare: dict[str, str]
+) -> str | None:
+    if isinstance(func, ast.Name):
+        return banned_bare.get(func.id)
+    if isinstance(func, ast.Attribute):
+        base = func.value
+        if isinstance(base, ast.Name):
+            if base.id == "time" and func.attr in _WALL_CLOCK_TIME_ATTRS:
+                return f"time.{func.attr}"
+            if (
+                base.id in ("datetime", "date")
+                and func.attr in _WALL_CLOCK_DT_ATTRS
+            ):
+                return f"{base.id}.{func.attr}"
+        if (
+            isinstance(base, ast.Attribute)
+            and isinstance(base.value, ast.Name)
+            and base.value.id == "datetime"
+            and base.attr in ("datetime", "date")
+            and func.attr in _WALL_CLOCK_DT_ATTRS
+        ):
+            return f"datetime.{base.attr}.{func.attr}"
+    return None
+
+
+def _layer(module: str) -> str | None:
+    parts = module.split(".")
+    return parts[1] if len(parts) >= 2 else None
+
+
+def _short(qualname: str) -> str:
+    parts = qualname.split(".")
+    return ".".join(parts[-2:]) if len(parts) > 2 else qualname

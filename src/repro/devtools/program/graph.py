@@ -1,0 +1,230 @@
+"""Import-graph builder, layering contract (rule P1), and exporters.
+
+The contract is the architecture in one table: ``core`` is the paper's
+math and may depend on nothing but the numeric stack; ``sim`` and
+``analysis`` build on ``core``; ``cloudsim`` (the DES) may use ``core``
+and ``sim``; ``experiments`` is the CLI surface and may use anything;
+``devtools`` analyzes the tree and must import none of it (so linting
+can never execute library side effects).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Iterator
+
+from ..registry import project_rule
+from .context import ProgramContext
+
+__all__ = [
+    "LAYER_CONTRACT",
+    "CORE_EXTERNAL_ALLOWED",
+    "ImportEdge",
+    "import_edges",
+    "render_dot",
+    "render_graph_json",
+]
+
+#: layer -> other layers it may import from (same layer always allowed;
+#: top-level modules such as ``repro/__init__.py`` are exempt).
+LAYER_CONTRACT: dict[str, frozenset[str]] = {
+    "core": frozenset(),
+    "sim": frozenset({"core"}),
+    "analysis": frozenset({"core"}),
+    "cloudsim": frozenset({"core", "sim"}),
+    "experiments": frozenset(
+        {"core", "sim", "analysis", "cloudsim", "devtools"}
+    ),
+    "devtools": frozenset(),
+}
+
+#: the only non-stdlib packages ``core`` may touch: the paper's math is
+#: numpy + stdlib ``math``, nothing heavier.
+CORE_EXTERNAL_ALLOWED = frozenset({"numpy"})
+
+
+@dataclass(frozen=True)
+class ImportEdge:
+    """One resolved module-to-module import inside the package."""
+
+    src: str  # importing module, e.g. "repro.cloudsim.coordinator"
+    dst: str  # imported module, e.g. "repro.core.greedy"
+    line: int
+    col: int
+    typing_only: bool
+
+    @property
+    def src_layer(self) -> str | None:
+        return _layer_of(self.src)
+
+    @property
+    def dst_layer(self) -> str | None:
+        return _layer_of(self.dst)
+
+
+def _layer_of(name: str) -> str | None:
+    parts = name.split(".")
+    return parts[1] if len(parts) >= 2 else None
+
+
+def import_edges(program: ProgramContext) -> list[ImportEdge]:
+    """Every internal import edge, deduplicated and sorted.
+
+    ``from repro.core import greedy_sizes`` is resolved to the submodule
+    ``repro.core.greedy_sizes`` when one exists, else to the package —
+    the edge should point at the real provider, not the facade, so the
+    graph shows true coupling.
+    """
+    edges: set[ImportEdge] = set()
+    for info in program.project_modules():
+        for record in info.imports:
+            if not program.is_internal(record.target):
+                continue
+            if record.names:
+                for name in record.names:
+                    submodule = f"{record.target}.{name}"
+                    dst = (
+                        submodule
+                        if program.resolve_internal(submodule) is not None
+                        else record.target
+                    )
+                    edges.add(
+                        ImportEdge(
+                            src=info.name,
+                            dst=dst,
+                            line=record.line,
+                            col=record.col,
+                            typing_only=record.typing_only,
+                        )
+                    )
+            else:
+                edges.add(
+                    ImportEdge(
+                        src=info.name,
+                        dst=record.target,
+                        line=record.line,
+                        col=record.col,
+                        typing_only=record.typing_only,
+                    )
+                )
+    return sorted(edges, key=lambda e: (e.src, e.dst, e.line))
+
+
+@project_rule(
+    "P1",
+    "import-layering",
+    "The package layering contract (core -> stdlib/numpy only; "
+    "sim/analysis -> core; cloudsim -> core+sim; experiments -> "
+    "anything; devtools isolated) keeps the paper's math independently "
+    "testable and the linter side-effect free; an import against the "
+    "grain couples layers the architecture keeps apart.",
+)
+def check_import_layering(
+    program: ProgramContext,
+) -> Iterator[tuple[Path, int, int, str]]:
+    # Internal edges against the layer contract.
+    for edge in import_edges(program):
+        if edge.typing_only:
+            continue
+        src_layer, dst_layer = edge.src_layer, edge.dst_layer
+        if src_layer is None or dst_layer is None:
+            continue  # top-level facade modules are exempt
+        if src_layer == dst_layer:
+            continue
+        allowed = LAYER_CONTRACT.get(src_layer)
+        if allowed is not None and dst_layer not in allowed:
+            info = program.modules[edge.src]
+            yield (
+                info.ctx.path,
+                edge.line,
+                edge.col,
+                f"layering violation: `{src_layer}` may not import from "
+                f"`{dst_layer}` (edge {edge.src} -> {edge.dst}); allowed: "
+                f"{_describe_allowed(src_layer)}",
+            )
+    # core's external dependency budget: stdlib + numpy.
+    for info in program.project_modules():
+        if info.layer != "core":
+            continue
+        for record in info.imports:
+            if record.typing_only or program.is_internal(record.target):
+                continue
+            top = record.target.split(".", 1)[0]
+            if program.is_stdlib(top) or top in CORE_EXTERNAL_ALLOWED:
+                continue
+            yield (
+                info.ctx.path,
+                record.line,
+                record.col,
+                f"core/ may only depend on the stdlib and numpy, not "
+                f"`{top}` — keep the algorithmic layer lightweight",
+            )
+
+
+def _describe_allowed(layer: str) -> str:
+    allowed = LAYER_CONTRACT.get(layer, frozenset())
+    if not allowed:
+        return "nothing outside its own layer"
+    return ", ".join(sorted(allowed))
+
+
+# ----------------------------------------------------------------------
+# exporters
+# ----------------------------------------------------------------------
+def render_dot(program: ProgramContext) -> str:
+    """Graphviz dot of the module import graph, clustered by layer."""
+    edges = [e for e in import_edges(program) if not e.typing_only]
+    by_layer: dict[str, list[str]] = {}
+    for info in program.project_modules():
+        layer = info.layer or "<top>"
+        by_layer.setdefault(layer, []).append(info.name)
+    lines = [
+        "digraph imports {",
+        "  rankdir=LR;",
+        '  node [shape=box, fontsize=10, fontname="Helvetica"];',
+    ]
+    for index, layer in enumerate(sorted(by_layer)):
+        lines.append(f"  subgraph cluster_{index} {{")
+        lines.append(f'    label="{layer}";')
+        for name in sorted(by_layer[layer]):
+            short = name.split(".", 1)[-1] if "." in name else name
+            lines.append(f'    "{name}" [label="{short}"];')
+        lines.append("  }")
+    for edge in edges:
+        lines.append(f'  "{edge.src}" -> "{edge.dst}";')
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def render_graph_json(program: ProgramContext) -> dict:
+    """JSON-serializable import graph (modules, edges, layer summary)."""
+    edges = import_edges(program)
+    layer_edges: dict[str, int] = {}
+    for edge in edges:
+        if edge.typing_only:
+            continue
+        src, dst = edge.src_layer or "<top>", edge.dst_layer or "<top>"
+        if src != dst:
+            key = f"{src} -> {dst}"
+            layer_edges[key] = layer_edges.get(key, 0) + 1
+    return {
+        "modules": [
+            {"name": info.name, "layer": info.layer}
+            for info in program.project_modules()
+        ],
+        "edges": [
+            {
+                "src": edge.src,
+                "dst": edge.dst,
+                "line": edge.line,
+                "typing_only": edge.typing_only,
+            }
+            for edge in edges
+        ],
+        "layer_edge_counts": dict(sorted(layer_edges.items())),
+        "contract": {
+            layer: sorted(allowed)
+            for layer, allowed in sorted(LAYER_CONTRACT.items())
+        },
+    }

@@ -17,13 +17,22 @@ refer to them, so they are never reused for a different invariant.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, Iterator
+from pathlib import Path
+from typing import TYPE_CHECKING, Callable, Iterable, Iterator
 
 from .context import FileContext
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .program.context import ProgramContext
+
 CheckFn = Callable[[FileContext], Iterator[tuple[int, int, str]]]
+#: project rules see the whole program and must say *where* each hit is.
+ProjectCheckFn = Callable[
+    ["ProgramContext"], Iterator[tuple[Path | str, int, int, str]]
+]
 
 _REGISTRY: dict[str, "Rule"] = {}
+_PROJECT_REGISTRY: dict[str, "ProjectRule"] = {}
 
 
 @dataclass(frozen=True)
@@ -53,9 +62,50 @@ def rule(rule_id: str, name: str, rationale: str) -> Callable[[CheckFn], CheckFn
     return decorator
 
 
+@dataclass(frozen=True)
+class ProjectRule:
+    """A registered whole-program rule (P-series).
+
+    Unlike file rules, a project rule walks the :class:`ProgramContext`
+    — import graph, call graph, cross-module indices — and therefore
+    yields the *path* of each hit along with its location.
+    """
+
+    rule_id: str
+    name: str
+    rationale: str
+    check: ProjectCheckFn
+
+    def run(
+        self, program: "ProgramContext"
+    ) -> Iterator[tuple[Path | str, int, int, str]]:
+        return self.check(program)
+
+
+def project_rule(
+    rule_id: str, name: str, rationale: str
+) -> Callable[[ProjectCheckFn], ProjectCheckFn]:
+    """Register ``fn`` as the implementation of project rule ``rule_id``."""
+
+    def decorator(fn: ProjectCheckFn) -> ProjectCheckFn:
+        if rule_id in _PROJECT_REGISTRY or rule_id in _REGISTRY:
+            raise ValueError(f"duplicate rule id {rule_id!r}")
+        _PROJECT_REGISTRY[rule_id] = ProjectRule(
+            rule_id=rule_id, name=name, rationale=rationale, check=fn
+        )
+        return fn
+
+    return decorator
+
+
 def all_rules() -> tuple[Rule, ...]:
-    """Every registered rule, ordered by ID."""
+    """Every registered file rule, ordered by ID."""
     return tuple(_REGISTRY[key] for key in sorted(_REGISTRY))
+
+
+def all_project_rules() -> tuple[ProjectRule, ...]:
+    """Every registered project rule, ordered by ID."""
+    return tuple(_PROJECT_REGISTRY[key] for key in sorted(_PROJECT_REGISTRY))
 
 
 def get_rule(rule_id: str) -> Rule:
@@ -65,6 +115,16 @@ def get_rule(rule_id: str) -> Rule:
         known = ", ".join(sorted(_REGISTRY)) or "<none>"
         raise KeyError(
             f"unknown rule {rule_id!r}; registered rules: {known}"
+        ) from None
+
+
+def get_project_rule(rule_id: str) -> ProjectRule:
+    try:
+        return _PROJECT_REGISTRY[rule_id]
+    except KeyError:
+        known = ", ".join(sorted(_PROJECT_REGISTRY)) or "<none>"
+        raise KeyError(
+            f"unknown project rule {rule_id!r}; registered rules: {known}"
         ) from None
 
 
@@ -86,3 +146,40 @@ def resolve_rules(
         dropped = {get_rule(rule_id).rule_id for rule_id in ignore}
         chosen = [r for r in chosen if r.rule_id not in dropped]
     return tuple(sorted(chosen, key=lambda r: r.rule_id))
+
+
+def resolve_rule_sets(
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+) -> tuple[tuple[Rule, ...], tuple[ProjectRule, ...]]:
+    """Partition ``--select`` / ``--ignore`` across both registries.
+
+    IDs are validated against the *union* of file and project rules, so
+    ``--select R1,P3`` works while a typo still fails loudly.
+    """
+
+    def lookup(rule_id: str) -> Rule | ProjectRule:
+        if rule_id in _REGISTRY:
+            return _REGISTRY[rule_id]
+        if rule_id in _PROJECT_REGISTRY:
+            return _PROJECT_REGISTRY[rule_id]
+        known = ", ".join(sorted({**_REGISTRY, **_PROJECT_REGISTRY}))
+        raise KeyError(
+            f"unknown rule {rule_id!r}; registered rules: {known or '<none>'}"
+        )
+
+    if select is None:
+        file_rules = list(all_rules())
+        proj_rules = list(all_project_rules())
+    else:
+        chosen = [lookup(rule_id) for rule_id in select]
+        file_rules = [r for r in chosen if isinstance(r, Rule)]
+        proj_rules = [r for r in chosen if isinstance(r, ProjectRule)]
+    if ignore:
+        dropped = {lookup(rule_id).rule_id for rule_id in ignore}
+        file_rules = [r for r in file_rules if r.rule_id not in dropped]
+        proj_rules = [r for r in proj_rules if r.rule_id not in dropped]
+    return (
+        tuple(sorted(file_rules, key=lambda r: r.rule_id)),
+        tuple(sorted(proj_rules, key=lambda r: r.rule_id)),
+    )

@@ -1,4 +1,15 @@
-"""File discovery and rule execution for reprolint."""
+"""File discovery and rule execution for reprolint.
+
+Two execution scopes share one report shape:
+
+- **file scope** — every rule runs independently over each parsed file
+  (:func:`lint_paths` with ``project=False``);
+- **project scope** — the tree is additionally indexed into one
+  :class:`~repro.devtools.program.context.ProgramContext` and the
+  P-series whole-program rules run over it, with per-file suppression
+  comments honoured at the violation's location and an optional
+  committed baseline splitting pre-existing debt from new violations.
+"""
 
 from __future__ import annotations
 
@@ -7,13 +18,17 @@ from pathlib import Path
 from typing import Iterable, Iterator, Sequence
 
 from .context import FileContext
-from .registry import Rule, resolve_rules
+from .registry import ProjectRule, Rule, resolve_rule_sets, resolve_rules
 from .violations import Violation
 
 #: directory names never worth linting
 _SKIP_DIRS = frozenset(
     {"__pycache__", ".git", ".venv", "venv", "build", "dist"}
 )
+
+#: sibling directories scanned as *evidence of use* in project scope
+#: (rule P5); they are never linted themselves.
+_CONSUMER_DIR_NAMES = ("tests", "examples", "benchmarks")
 
 
 @dataclass
@@ -23,10 +38,15 @@ class LintReport:
     violations: list[Violation] = field(default_factory=list)
     files_checked: int = 0
     rules: tuple[Rule, ...] = ()
+    project_rules: tuple[ProjectRule, ...] = ()
+    #: violations excused by the committed baseline (project scope)
+    baselined: list[Violation] = field(default_factory=list)
+    #: baseline entries that no longer fire and must be removed
+    stale_baseline: list[dict] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
-        return not self.violations
+        return not self.violations and not self.stale_baseline
 
 
 def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
@@ -85,5 +105,101 @@ def lint_paths(
     for path in iter_python_files(Path(p) for p in paths):
         report.files_checked += 1
         report.violations.extend(lint_file(path, rules))
+    report.violations.sort()
+    return report
+
+
+# ----------------------------------------------------------------------
+# project scope
+# ----------------------------------------------------------------------
+def find_package_root(paths: Sequence[Path]) -> Path | None:
+    """The package directory the project analysis should index.
+
+    The first given directory that is itself a package (contains an
+    ``__init__.py``) wins; a directory *containing* exactly one package
+    (the ``src/repro`` layout given ``src``) is also accepted.
+    """
+    for path in paths:
+        if not path.is_dir():
+            continue
+        if (path / "__init__.py").exists():
+            return path
+        packages = sorted(
+            child
+            for child in path.iterdir()
+            if child.is_dir() and (child / "__init__.py").exists()
+        )
+        if len(packages) == 1:
+            return packages[0]
+    return None
+
+
+def default_consumer_roots(package_root: Path) -> tuple[Path, ...]:
+    """tests/examples/benchmarks directories near the package root."""
+    anchors = [package_root.parent, package_root.parent.parent]
+    roots: list[Path] = []
+    for anchor in anchors:
+        for name in _CONSUMER_DIR_NAMES:
+            candidate = anchor / name
+            if candidate.is_dir() and candidate not in roots:
+                roots.append(candidate)
+    return tuple(roots)
+
+
+def lint_project(
+    paths: Iterable[Path | str],
+    select: Iterable[str] | None = None,
+    ignore: Iterable[str] | None = None,
+    baseline_path: Path | str | None = None,
+) -> LintReport:
+    """File rules plus the P-series whole-program rules over one tree."""
+    from .program import compare, load_baseline
+    from .program.context import ProgramContext
+
+    path_list = [Path(p) for p in paths]
+    file_rules, project_rules = resolve_rule_sets(
+        select=select, ignore=ignore
+    )
+    report = LintReport(rules=file_rules, project_rules=project_rules)
+    for path in iter_python_files(path_list):
+        report.files_checked += 1
+        report.violations.extend(lint_file(path, file_rules))
+
+    package_root = find_package_root(path_list)
+    if package_root is None:
+        report.violations.append(
+            Violation.at(
+                "PROJECT",
+                path_list[0] if path_list else Path("."),
+                1,
+                0,
+                "project scope needs a package directory (one containing "
+                "__init__.py); none found in the given paths",
+            )
+        )
+        report.violations.sort()
+        return report
+
+    program = ProgramContext.build(
+        package_root,
+        consumer_roots=default_consumer_roots(package_root),
+    )
+    for rule_obj in project_rules:
+        for v_path, line, col, message in rule_obj.run(program):
+            info = program.module_at(Path(v_path))
+            if info is not None and info.ctx.suppressions.is_suppressed(
+                rule_obj.rule_id, line
+            ):
+                continue
+            report.violations.append(
+                Violation.at(rule_obj.rule_id, v_path, line, col, message)
+            )
+
+    if baseline_path is not None:
+        baseline = load_baseline(baseline_path)
+        comparison = compare(baseline, report.violations)
+        report.violations = comparison.new
+        report.baselined = comparison.baselined
+        report.stale_baseline = comparison.stale
     report.violations.sort()
     return report

@@ -9,6 +9,7 @@ broken rule would otherwise let the clean-tree assertion rot).
 
 from __future__ import annotations
 
+import json
 import os
 import shutil
 import subprocess
@@ -17,7 +18,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.devtools import lint_paths, render_text
+from repro.devtools import lint_paths, lint_project, render_text
 from repro.devtools.cli import main
 
 REPO_ROOT = Path(__file__).resolve().parents[2]
@@ -47,6 +48,23 @@ def test_src_repro_is_reprolint_clean():
     report = lint_paths([SRC])
     assert report.files_checked > 50
     assert report.ok, "\n" + render_text(report)
+
+
+def test_src_repro_is_project_clean():
+    """The whole-program passes (P1-P5) must also hold on the tree."""
+    report = lint_project([SRC])
+    assert report.files_checked > 50
+    assert len(report.project_rules) == 5
+    assert report.ok, "\n" + render_text(report)
+
+
+def test_committed_baseline_holds_no_debt():
+    """The ratchet file is committed and empty: new violations cannot
+    hide behind it, and fixed ones cannot silently linger."""
+    baseline = REPO_ROOT / ".reprolint-baseline.json"
+    payload = json.loads(baseline.read_text(encoding="utf-8"))
+    assert payload["version"] == 1
+    assert payload["entries"] == []
 
 
 @pytest.mark.parametrize("rule_id", sorted(CANARIES))

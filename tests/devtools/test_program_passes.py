@@ -1,0 +1,506 @@
+"""Unit tests for the whole-program passes (P1-P5).
+
+Each test materialises a minimal ``repro``-shaped package under
+``tmp_path`` and runs :func:`repro.devtools.lint_project` with
+``select`` isolating one pass, asserting the pass fires on the
+violating shape and stays quiet on the idiomatic alternative.
+"""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+from repro.devtools import lint_project
+from repro.devtools.program import ProgramContext, render_dot, render_graph_json
+from repro.devtools.runner import default_consumer_roots
+
+
+def build_tree(tmp_path: Path, files: dict[str, str]) -> Path:
+    """Write ``files`` (relative paths -> source) and return the root."""
+    for rel, code in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(code), encoding="utf-8")
+    return tmp_path / "repro"
+
+
+def hits(tree: Path, select: list[str]) -> list[str]:
+    report = lint_project([tree], select=select)
+    return [
+        f"{v.rule_id} {Path(v.path).name}:{v.line}"
+        for v in report.violations
+    ]
+
+
+PKG = {
+    "repro/__init__.py": "",
+    "repro/core/__init__.py": "",
+    "repro/sim/__init__.py": "",
+    "repro/cloudsim/__init__.py": "",
+    "repro/experiments/__init__.py": "",
+}
+
+
+class TestP1ImportLayering:
+    def test_core_importing_simulator_violates_contract(self, tmp_path):
+        tree = build_tree(
+            tmp_path,
+            PKG
+            | {
+                "repro/cloudsim/engine.py": "class Simulator:\n    pass\n",
+                "repro/core/alg.py": (
+                    "from repro.cloudsim.engine import Simulator\n"
+                ),
+            },
+        )
+        assert hits(tree, ["P1"]) == ["P1 alg.py:1"]
+
+    def test_core_external_budget_is_stdlib_plus_numpy(self, tmp_path):
+        tree = build_tree(
+            tmp_path,
+            PKG
+            | {
+                "repro/core/alg.py": (
+                    "import math\nimport numpy as np\nimport scipy\n"
+                ),
+            },
+        )
+        assert hits(tree, ["P1"]) == ["P1 alg.py:3"]
+
+    def test_allowed_directions_are_clean(self, tmp_path):
+        tree = build_tree(
+            tmp_path,
+            PKG
+            | {
+                "repro/core/alg.py": "def f() -> int:\n    return 1\n",
+                "repro/sim/model.py": "from repro.core.alg import f\n",
+                "repro/cloudsim/comp.py": (
+                    "from repro.core.alg import f\n"
+                    "from repro.sim.model import f as g\n"
+                ),
+                "repro/experiments/fig.py": (
+                    "from repro.cloudsim.comp import f\n"
+                ),
+            },
+        )
+        assert hits(tree, ["P1"]) == []
+
+    def test_typing_only_imports_are_exempt(self, tmp_path):
+        tree = build_tree(
+            tmp_path,
+            PKG
+            | {
+                "repro/cloudsim/engine.py": "class Simulator:\n    pass\n",
+                "repro/core/alg.py": (
+                    "from typing import TYPE_CHECKING\n"
+                    "if TYPE_CHECKING:\n"
+                    "    from repro.cloudsim.engine import Simulator\n"
+                ),
+            },
+        )
+        assert hits(tree, ["P1"]) == []
+
+    def test_sim_reaching_into_cloudsim_violates(self, tmp_path):
+        tree = build_tree(
+            tmp_path,
+            PKG
+            | {
+                "repro/cloudsim/engine.py": "class Simulator:\n    pass\n",
+                "repro/sim/model.py": (
+                    "from repro.cloudsim.engine import Simulator\n"
+                ),
+            },
+        )
+        assert hits(tree, ["P1"]) == ["P1 model.py:1"]
+
+
+class TestP2RngProvenance:
+    def test_seed_forwarding_helper_called_without_seed(self, tmp_path):
+        tree = build_tree(
+            tmp_path,
+            PKG
+            | {
+                "repro/core/rngutil.py": """\
+                import numpy as np
+
+                def make_rng(seed=None):
+                    return np.random.default_rng(seed)
+                """,
+                "repro/cloudsim/comp.py": """\
+                from repro.core.rngutil import make_rng
+
+                def build():
+                    return make_rng()
+
+                def seeded(seed: int):
+                    return make_rng(seed)
+                """,
+            },
+        )
+        found = hits(tree, ["P2"])
+        assert found == ["P2 comp.py:4"], found
+
+    def test_leak_laundered_through_two_layers(self, tmp_path):
+        tree = build_tree(
+            tmp_path,
+            PKG
+            | {
+                "repro/core/rngutil.py": """\
+                import numpy as np
+
+                def make_rng(seed=None):
+                    return np.random.default_rng(seed)
+
+                def make_component_rng(seed=None):
+                    return make_rng(seed)
+                """,
+                "repro/sim/model.py": """\
+                from repro.core.rngutil import make_component_rng
+
+                def scenario():
+                    return make_component_rng()
+                """,
+            },
+        )
+        found = hits(tree, ["P2"])
+        assert found == ["P2 model.py:4"], found
+
+    def test_dataclass_default_factory_reference(self, tmp_path):
+        tree = build_tree(
+            tmp_path,
+            PKG
+            | {
+                "repro/cloudsim/state.py": """\
+                from dataclasses import dataclass, field
+                from numpy.random import default_rng
+
+                @dataclass
+                class State:
+                    rng: object = field(default_factory=default_rng)
+                """,
+            },
+        )
+        found = hits(tree, ["P2"])
+        assert len(found) == 1 and found[0].startswith("P2 state.py:6")
+
+    def test_literal_no_arg_call_is_left_to_r1(self, tmp_path):
+        tree = build_tree(
+            tmp_path,
+            PKG
+            | {
+                "repro/cloudsim/comp.py": """\
+                import numpy as np
+
+                def build():
+                    return np.random.default_rng()
+                """,
+            },
+        )
+        # P2 stays silent on the literal site (R1's report) ...
+        assert hits(tree, ["P2"]) == []
+        # ... and R1 does flag it.
+        assert hits(tree, ["R1"]) == ["R1 comp.py:4"]
+
+    def test_explicitly_seeded_paths_are_clean(self, tmp_path):
+        tree = build_tree(
+            tmp_path,
+            PKG
+            | {
+                "repro/core/rngutil.py": """\
+                import numpy as np
+
+                def make_rng(seed=None):
+                    return np.random.default_rng(seed)
+                """,
+                "repro/cloudsim/comp.py": """\
+                from repro.core.rngutil import make_rng
+
+                def build(seed: int):
+                    return make_rng(seed)
+
+                def scenario():
+                    return build(1234)
+                """,
+            },
+        )
+        assert hits(tree, ["P2"]) == []
+
+
+SCHED_PRELUDE = """\
+class Comp:
+    def __init__(self, sim):
+        self.sim = sim
+        self.peers: set[str] = set()
+        self.table: dict[str, int] = {}
+
+"""
+
+
+class TestP3UnorderedIteration:
+    def test_set_iteration_feeding_schedule(self, tmp_path):
+        tree = build_tree(
+            tmp_path,
+            PKG
+            | {
+                "repro/cloudsim/comp.py": SCHED_PRELUDE
+                + """\
+    def kick(self):
+        for peer in self.peers:
+            self.sim.schedule(1.0, peer)
+""",
+            },
+        )
+        found = hits(tree, ["P3"])
+        assert found == ["P3 comp.py:8"], found
+
+    def test_dict_view_iteration_feeding_schedule(self, tmp_path):
+        tree = build_tree(
+            tmp_path,
+            PKG
+            | {
+                "repro/cloudsim/comp.py": SCHED_PRELUDE
+                + """\
+    def kick(self):
+        for name, delay in self.table.items():
+            self.sim.schedule(delay, name)
+""",
+            },
+        )
+        found = hits(tree, ["P3"])
+        assert found == ["P3 comp.py:8"], found
+
+    def test_sorted_iteration_is_clean(self, tmp_path):
+        tree = build_tree(
+            tmp_path,
+            PKG
+            | {
+                "repro/cloudsim/comp.py": SCHED_PRELUDE
+                + """\
+    def kick(self):
+        for peer in sorted(self.peers):
+            self.sim.schedule(1.0, peer)
+        for name, delay in sorted(self.table.items()):
+            self.sim.schedule(delay, name)
+""",
+            },
+        )
+        assert hits(tree, ["P3"]) == []
+
+    def test_set_iteration_without_event_effect_is_clean(self, tmp_path):
+        tree = build_tree(
+            tmp_path,
+            PKG
+            | {
+                "repro/cloudsim/comp.py": SCHED_PRELUDE
+                + """\
+    def census(self):
+        return sum(1 for peer in self.peers if peer)
+""",
+            },
+        )
+        assert hits(tree, ["P3"]) == []
+
+    def test_rng_draw_in_loop_is_flagged_even_without_schedule(
+        self, tmp_path
+    ):
+        tree = build_tree(
+            tmp_path,
+            PKG
+            | {
+                "repro/sim/model.py": """\
+                def draw(rng, pool: set[str]):
+                    out = []
+                    for name in pool:
+                        out.append((name, rng.integers(10)))
+                    return out
+                """,
+            },
+        )
+        found = hits(tree, ["P3"])
+        assert found == ["P3 model.py:3"], found
+
+    def test_layer_scoping_ignores_core_and_experiments(self, tmp_path):
+        code = SCHED_PRELUDE + """\
+    def kick(self):
+        for peer in self.peers:
+            self.sim.schedule(1.0, peer)
+"""
+        tree = build_tree(
+            tmp_path,
+            PKG
+            | {
+                "repro/core/alg.py": code,
+                "repro/experiments/fig.py": code,
+            },
+        )
+        assert hits(tree, ["P3"]) == []
+
+
+class TestP4WallClock:
+    def test_time_read_in_simulator_is_flagged(self, tmp_path):
+        tree = build_tree(
+            tmp_path,
+            PKG
+            | {
+                "repro/cloudsim/clock.py": """\
+                import time
+
+                def stamp():
+                    return time.time()
+                """,
+            },
+        )
+        assert hits(tree, ["P4"]) == ["P4 clock.py:4"]
+
+    def test_from_import_alias_is_caught(self, tmp_path):
+        tree = build_tree(
+            tmp_path,
+            PKG
+            | {
+                "repro/sim/model.py": """\
+                from time import perf_counter as tick
+
+                def stamp():
+                    return tick()
+                """,
+            },
+        )
+        assert hits(tree, ["P4"]) == ["P4 model.py:4"]
+
+    def test_wall_clock_outside_simulator_is_allowed(self, tmp_path):
+        tree = build_tree(
+            tmp_path,
+            PKG
+            | {
+                "repro/experiments/bench.py": """\
+                import time
+
+                def stamp():
+                    return time.time()
+                """,
+            },
+        )
+        assert hits(tree, ["P4"]) == []
+
+
+class TestP5DeadExports:
+    def test_broken_and_dead_exports(self, tmp_path):
+        tree = build_tree(
+            tmp_path,
+            PKG
+            | {
+                "repro/sim/__init__.py": """\
+                from .model import used, unused
+
+                __all__ = ["used", "unused", "ghost"]
+                """,
+                "repro/sim/model.py": (
+                    "def used():\n    pass\n\ndef unused():\n    pass\n"
+                ),
+                "repro/experiments/fig.py": "from repro.sim import used\n",
+            },
+        )
+        found = hits(tree, ["P5"])
+        assert "P5 __init__.py:3" in found  # ghost and unused both line 3
+        report = lint_project([tree], select=["P5"])
+        messages = sorted(v.message for v in report.violations)
+        assert any("ghost" in m and "broken export" in m for m in messages)
+        assert any("unused" in m and "no cross-module use" in m
+                   for m in messages)
+        assert not any("`used`" in m for m in messages)
+
+    def test_dotted_from_import_counts_as_facade_use(self, tmp_path):
+        tree = build_tree(
+            tmp_path,
+            PKG
+            | {
+                "repro/sim/__init__.py": (
+                    "from . import model\n\n__all__ = [\"model\"]\n"
+                ),
+                "repro/sim/model.py": "def run():\n    pass\n",
+                "repro/experiments/fig.py": (
+                    "from repro.sim.model import run\n"
+                ),
+            },
+        )
+        assert hits(tree, ["P5"]) == []
+
+
+class TestProjectSuppressions:
+    def test_inline_disable_silences_one_site(self, tmp_path):
+        tree = build_tree(
+            tmp_path,
+            PKG
+            | {
+                "repro/cloudsim/comp.py": SCHED_PRELUDE
+                + """\
+    def kick(self):
+        for peer in self.peers:  # reprolint: disable=P3
+            self.sim.schedule(1.0, peer)
+
+    def kick2(self):
+        for peer in self.peers:
+            self.sim.schedule(1.0, peer)
+""",
+            },
+        )
+        found = hits(tree, ["P3"])
+        assert found == ["P3 comp.py:12"], found
+
+    def test_file_disable_silences_whole_module(self, tmp_path):
+        tree = build_tree(
+            tmp_path,
+            PKG
+            | {
+                "repro/cloudsim/comp.py": (
+                    "# reprolint: disable-file=P3\n" + SCHED_PRELUDE
+                )
+                + """\
+    def kick(self):
+        for peer in self.peers:
+            self.sim.schedule(1.0, peer)
+""",
+            },
+        )
+        assert hits(tree, ["P3"]) == []
+
+    def test_p1_suppression_on_import_line(self, tmp_path):
+        tree = build_tree(
+            tmp_path,
+            PKG
+            | {
+                "repro/core/alg.py": (
+                    "import scipy  # reprolint: disable=P1\n"
+                ),
+            },
+        )
+        assert hits(tree, ["P1"]) == []
+
+
+class TestGraphExports:
+    def _program(self, tmp_path) -> ProgramContext:
+        tree = build_tree(
+            tmp_path,
+            PKG
+            | {
+                "repro/core/alg.py": "def f() -> int:\n    return 1\n",
+                "repro/sim/model.py": "from repro.core.alg import f\n",
+            },
+        )
+        return ProgramContext.build(
+            tree, consumer_roots=default_consumer_roots(tree)
+        )
+
+    def test_dot_render_clusters_by_layer(self, tmp_path):
+        dot = render_dot(self._program(tmp_path))
+        assert dot.startswith("digraph imports")
+        assert 'label="core"' in dot
+        assert '"repro.sim.model" -> "repro.core.alg"' in dot
+
+    def test_json_render_carries_contract_and_counts(self, tmp_path):
+        payload = render_graph_json(self._program(tmp_path))
+        assert payload["layer_edge_counts"] == {"sim -> core": 1}
+        assert set(payload["contract"]) >= {"core", "sim", "cloudsim"}
+        names = {m["name"] for m in payload["modules"]}
+        assert "repro.sim.model" in names

@@ -1,0 +1,181 @@
+"""CLI behaviour of ``repro-lint --project``: baselines, ratchet, graph."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.devtools.cli import main
+
+CLEAN_COMP = """\
+class Comp:
+    def __init__(self, sim):
+        self.sim = sim
+        self.peers: set[str] = set()
+
+    def kick(self):
+        for peer in sorted(self.peers):
+            self.sim.schedule(1.0, peer)
+"""
+
+DIRTY_COMP = CLEAN_COMP.replace("sorted(self.peers)", "self.peers")
+
+
+@pytest.fixture
+def tree(tmp_path: Path) -> Path:
+    for rel in (
+        "repro/__init__.py",
+        "repro/core/__init__.py",
+        "repro/cloudsim/__init__.py",
+    ):
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("", encoding="utf-8")
+    (tmp_path / "repro/cloudsim/comp.py").write_text(
+        DIRTY_COMP, encoding="utf-8"
+    )
+    return tmp_path / "repro"
+
+
+def test_project_flag_runs_p_rules(tree, capsys):
+    # Selecting a project rule without --project is a usage error: the
+    # file-mode registry does not know the P-series.
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--select", "P3", str(tree)])
+    assert excinfo.value.code == 2
+    capsys.readouterr()
+    assert main(["--project", "--select", "P3", str(tree)]) == 1
+    out = capsys.readouterr().out
+    assert "P3" in out
+    assert "comp.py:7" in out
+
+
+def test_json_output_marks_project_scope(tree, capsys):
+    assert main(
+        ["--project", "--select", "P3", "--format", "json", str(tree)]
+    ) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["ok"] is False
+    scopes = {r["id"]: r["scope"] for r in payload["rules"]}
+    assert scopes["P3"] == "project"
+    assert [v["rule"] for v in payload["violations"]] == ["P3"]
+    assert payload["baselined"] == []
+    assert payload["stale_baseline"] == []
+
+
+def test_baseline_ratchet_workflow(tree, tmp_path, capsys):
+    baseline = tmp_path / "ratchet.json"
+
+    # 1. Burn the pre-existing violation into the baseline.
+    assert main(
+        ["--project", "--select", "P3", "--write-baseline",
+         f"--baseline={baseline}", str(tree)]
+    ) == 0
+    assert "1 entries" in capsys.readouterr().out
+    payload = json.loads(baseline.read_text(encoding="utf-8"))
+    assert payload["version"] == 1
+    assert len(payload["entries"]) == 1
+
+    # 2. Baselined violations no longer fail the run.
+    assert main(
+        ["--project", "--select", "P3", f"--baseline={baseline}",
+         str(tree)]
+    ) == 0
+    out = capsys.readouterr().out
+    assert "baseline: 1 excused" in out
+
+    # 3. A *new* violation still fails.
+    extra = tree / "cloudsim" / "fresh.py"
+    extra.write_text(
+        DIRTY_COMP.replace("class Comp", "class Fresh"), encoding="utf-8"
+    )
+    assert main(
+        ["--project", "--select", "P3", f"--baseline={baseline}",
+         str(tree)]
+    ) == 1
+    assert "fresh.py" in capsys.readouterr().out
+    extra.unlink()
+
+    # 4. Fixing the baselined violation makes its entry stale — the
+    #    ratchet forces a rewrite rather than silently shrinking.
+    (tree / "cloudsim" / "comp.py").write_text(
+        CLEAN_COMP, encoding="utf-8"
+    )
+    assert main(
+        ["--project", "--select", "P3", f"--baseline={baseline}",
+         str(tree)]
+    ) == 1
+    assert "stale" in capsys.readouterr().out.lower()
+
+    # 5. Rewriting the baseline empties it; the tree is clean.
+    assert main(
+        ["--project", "--select", "P3", "--write-baseline",
+         f"--baseline={baseline}", str(tree)]
+    ) == 0
+    capsys.readouterr()
+    assert main(
+        ["--project", "--select", "P3", f"--baseline={baseline}",
+         str(tree)]
+    ) == 0
+
+
+def test_baseline_directory_is_usage_error(tree):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--project", "--baseline", str(tree)])
+    assert excinfo.value.code == 2
+
+
+def test_graph_dot_export(tree, tmp_path, capsys):
+    destination = tmp_path / "imports.dot"
+    assert main(["--graph", str(destination), str(tree)]) == 0
+    dot = destination.read_text(encoding="utf-8")
+    assert dot.startswith("digraph imports")
+    assert "repro.cloudsim.comp" in dot
+
+
+def test_graph_json_export(tree, tmp_path, capsys):
+    destination = tmp_path / "imports.json"
+    assert main(["--graph", str(destination), str(tree)]) == 0
+    payload = json.loads(destination.read_text(encoding="utf-8"))
+    assert {"modules", "edges", "layer_edge_counts", "contract"} <= set(
+        payload
+    )
+
+
+def test_graph_composes_with_project_lint(tree, tmp_path, capsys):
+    destination = tmp_path / "imports.dot"
+    assert main(
+        ["--project", "--select", "P3", "--graph", str(destination),
+         str(tree)]
+    ) == 1  # graph written AND the P3 violation still fails the run
+    assert destination.exists()
+
+
+def test_list_rules_includes_project_catalogue(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id, slug in [
+        ("P1", "import-layering"),
+        ("P2", "rng-provenance"),
+        ("P3", "unordered-iteration"),
+        ("P4", "no-wall-clock"),
+        ("P5", "dead-export"),
+    ]:
+        assert rule_id in out
+        assert slug in out
+        assert "[project]" in out
+
+
+def test_project_mode_without_package_root_reports(tmp_path, capsys):
+    stray = tmp_path / "stray.py"
+    stray.write_text(
+        '"""Doc."""\n\nfrom __future__ import annotations\n\nx = 1\n',
+        encoding="utf-8",
+    )
+    code = main(["--project", str(stray)])
+    out = capsys.readouterr().out
+    assert code == 1
+    assert "PROJECT" in out
+
