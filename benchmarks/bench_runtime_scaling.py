@@ -1,0 +1,105 @@
+"""Runtime scaling benchmark — the same grid serial vs 2 vs 4 workers.
+
+Runs a fixed scenario grid through ``repro.runtime`` at 1, 2, and 4
+workers, asserts the records are byte-identical across all three, and
+writes machine-readable wall times to ``BENCH_runtime.json`` (override
+the path with ``BENCH_RUNTIME_JSON``) for CI artifact upload.
+
+Speedup is *reported*, not asserted: it depends on the host's core
+count (a single-core runner shows ~1x with process overhead), while the
+determinism contract must hold everywhere.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from benchmarks.conftest import full_fidelity
+from repro.sim import ShuffleScenario
+from repro.sim.sweep import sweep, to_csv
+
+WORKER_COUNTS = (1, 2, 4)
+
+
+def scaling_grid() -> list[ShuffleScenario]:
+    bots_axis = (
+        (20_000, 40_000, 60_000, 80_000, 100_000, 120_000)
+        if full_fidelity()
+        else (400, 800, 1_200, 1_600)
+    )
+    benign = 50_000 if full_fidelity() else 1_000
+    replicas = 1_000 if full_fidelity() else 80
+    return [
+        ShuffleScenario(
+            benign=benign,
+            bots=bots,
+            n_replicas=replicas,
+            target_fraction=0.8,
+            preload_bots=True,
+            max_rounds=2_000,
+        )
+        for bots in bots_axis
+    ]
+
+
+def test_runtime_scaling(benchmark, show, repetitions):
+    grid = scaling_grid()
+    wall_times: dict[str, float] = {}
+    csv_by_workers: dict[int, str] = {}
+    for workers in WORKER_COUNTS:
+        begun = time.perf_counter()
+        records = sweep(
+            grid, repetitions=repetitions, seed=0, workers=workers
+        )
+        wall_times[str(workers)] = time.perf_counter() - begun
+        csv_by_workers[workers] = to_csv(records)
+
+    # The determinism contract: every worker count, byte-identical CSV.
+    assert csv_by_workers[2] == csv_by_workers[1]
+    assert csv_by_workers[4] == csv_by_workers[1]
+
+    # One serial pass through pytest-benchmark for its comparison table.
+    benchmark.pedantic(
+        sweep,
+        kwargs={"scenarios": grid, "repetitions": repetitions, "seed": 0},
+        rounds=1,
+        iterations=1,
+    )
+
+    serial = wall_times["1"]
+    payload = {
+        "grid_cells": len(grid),
+        "repetitions": repetitions,
+        "full_fidelity": full_fidelity(),
+        "host_cpu_count": os.cpu_count(),
+        "wall_time_s": {
+            workers: round(elapsed, 4)
+            for workers, elapsed in wall_times.items()
+        },
+        "speedup_vs_serial": {
+            workers: round(serial / elapsed, 3) if elapsed > 0 else None
+            for workers, elapsed in wall_times.items()
+        },
+        "records_identical_across_worker_counts": True,
+    }
+    out_path = os.environ.get("BENCH_RUNTIME_JSON", "BENCH_runtime.json")
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    show(
+        "Runtime scaling — {cells} cells x {reps} repetitions "
+        "(host cpus: {cpus})\n".format(
+            cells=len(grid),
+            reps=repetitions,
+            cpus=os.cpu_count(),
+        )
+        + "\n".join(
+            f"  workers={workers}: {wall_times[str(workers)]:.2f} s "
+            f"({payload['speedup_vs_serial'][str(workers)]:.2f}x)"
+            for workers in WORKER_COUNTS
+        )
+        + f"\n  written: {out_path}"
+    )

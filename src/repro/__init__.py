@@ -33,6 +33,11 @@ Quickstart::
 
 from __future__ import annotations
 
+# Importing the runtime registers the sim-layer execution backends
+# (repro.sim.backend), giving sweep()/run_campaign_batch() their
+# workers=/cache_dir= paths.  This is the one place the package wires
+# the runtime layer onto sim — sim itself never imports runtime.
+from . import runtime
 from .core import (
     BotEstimate,
     PLANNERS,
@@ -75,6 +80,7 @@ __all__ = [
     "even_plan",
     "expected_saved",
     "greedy_plan",
+    "runtime",
     "shuffle_trajectory",
     "single_replica_optimum",
     "survival_probability",

@@ -3,9 +3,12 @@
 The contract is the architecture in one table: ``core`` is the paper's
 math and may depend on nothing but the numeric stack; ``sim`` and
 ``analysis`` build on ``core``; ``cloudsim`` (the DES) may use ``core``
-and ``sim``; ``experiments`` is the CLI surface and may use anything;
-``devtools`` analyzes the tree and must import none of it (so linting
-can never execute library side effects).
+and ``sim``; ``runtime`` (parallel grid execution) orchestrates ``core``,
+``sim``, and ``cloudsim`` but is never imported by them — the sim layer
+reaches it only through the :mod:`repro.sim.backend` registry;
+``experiments`` is the CLI surface and may use anything; ``devtools``
+analyzes the tree and must import none of it (so linting can never
+execute library side effects).
 """
 
 from __future__ import annotations
@@ -33,8 +36,9 @@ LAYER_CONTRACT: dict[str, frozenset[str]] = {
     "sim": frozenset({"core"}),
     "analysis": frozenset({"core"}),
     "cloudsim": frozenset({"core", "sim"}),
+    "runtime": frozenset({"core", "sim", "cloudsim"}),
     "experiments": frozenset(
-        {"core", "sim", "analysis", "cloudsim", "devtools"}
+        {"core", "sim", "analysis", "cloudsim", "runtime", "devtools"}
     ),
     "devtools": frozenset(),
 }
@@ -115,10 +119,11 @@ def import_edges(program: ProgramContext) -> list[ImportEdge]:
     "P1",
     "import-layering",
     "The package layering contract (core -> stdlib/numpy only; "
-    "sim/analysis -> core; cloudsim -> core+sim; experiments -> "
-    "anything; devtools isolated) keeps the paper's math independently "
-    "testable and the linter side-effect free; an import against the "
-    "grain couples layers the architecture keeps apart.",
+    "sim/analysis -> core; cloudsim -> core+sim; runtime -> "
+    "core+sim+cloudsim; experiments -> anything; devtools isolated) "
+    "keeps the paper's math independently testable and the linter "
+    "side-effect free; an import against the grain couples layers the "
+    "architecture keeps apart.",
 )
 def check_import_layering(
     program: ProgramContext,

@@ -25,7 +25,8 @@ import numpy as np
 from ..analysis.cost import DefenseCost, compare_costs
 from ..analysis.theory import max_estimable_bots
 from ..core.shuffler import ShuffleEngine
-from ..sim.shuffle_sim import ScenarioResult, ShuffleScenario, run_scenario
+from ..runtime.grids import run_scenario_grid
+from ..sim.shuffle_sim import ScenarioResult, ShuffleScenario
 from .tables import render_table
 
 __all__ = ["AblationResults", "run_ablations", "render_ablations"]
@@ -41,34 +42,42 @@ class AblationResults:
     costs: tuple[DefenseCost, DefenseCost]
 
 
-def _planner_ablation(repetitions: int) -> dict[str, ScenarioResult]:
+def _planner_ablation(
+    repetitions: int, jobs: int = 1
+) -> dict[str, ScenarioResult]:
     scenario = dict(
         benign=2_000, bots=800, n_replicas=100, target_fraction=0.8,
         preload_bots=True, max_rounds=3_000,
     )
-    return {
-        planner: run_scenario(
-            ShuffleScenario(planner=planner, **scenario),
-            repetitions=repetitions,
-            seed=11,
-        )
-        for planner in ("greedy", "even")
-    }
+    planners = ("greedy", "even")
+    results = run_scenario_grid(
+        [ShuffleScenario(planner=planner, **scenario)
+         for planner in planners],
+        repetitions=repetitions,
+        seed=11,
+        spawn_seeds=False,
+        workers=jobs,
+    )
+    return dict(zip(planners, results))
 
 
-def _estimator_ablation(repetitions: int) -> dict[str, ScenarioResult]:
+def _estimator_ablation(
+    repetitions: int, jobs: int = 1
+) -> dict[str, ScenarioResult]:
     scenario = dict(
         benign=2_000, bots=500, n_replicas=100, target_fraction=0.8,
         preload_bots=True, max_rounds=2_000,
     )
-    return {
-        estimator: run_scenario(
-            ShuffleScenario(estimator=estimator, **scenario),
-            repetitions=repetitions,
-            seed=13,
-        )
-        for estimator in ("oracle", "mle", "moment")
-    }
+    estimators = ("oracle", "mle", "moment")
+    results = run_scenario_grid(
+        [ShuffleScenario(estimator=estimator, **scenario)
+         for estimator in estimators],
+        repetitions=repetitions,
+        seed=13,
+        spawn_seeds=False,
+        workers=jobs,
+    )
+    return dict(zip(estimators, results))
 
 
 def _growth_ablation() -> dict[str, tuple[int, int, float]]:
@@ -92,11 +101,11 @@ def _growth_ablation() -> dict[str, tuple[int, int, float]]:
     return outcomes
 
 
-def run_ablations(repetitions: int = 10) -> AblationResults:
-    """Run the whole ablation suite."""
+def run_ablations(repetitions: int = 10, jobs: int = 1) -> AblationResults:
+    """Run the whole ablation suite (``jobs`` fans out the sim grids)."""
     return AblationResults(
-        planners=_planner_ablation(repetitions),
-        estimators=_estimator_ablation(repetitions),
+        planners=_planner_ablation(repetitions, jobs=jobs),
+        estimators=_estimator_ablation(repetitions, jobs=jobs),
         growth=_growth_ablation(),
         costs=compare_costs(
             benign=50_000,

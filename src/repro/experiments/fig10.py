@@ -10,12 +10,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..runtime.grids import run_scenario_grid
 from ..sim.scenarios import fig10_scenarios
-from ..sim.shuffle_sim import (
-    ScenarioResult,
-    cumulative_saved_curve,
-    run_scenario,
-)
+from ..sim.shuffle_sim import ScenarioResult, cumulative_saved_curve
 from ..sim.stats import SampleSummary
 from .tables import render_table
 
@@ -46,15 +43,22 @@ def run_fig10(
     fractions: tuple[float, ...] = FIG10_FRACTIONS,
     repetitions: int = 30,
     seed: int = 0,
+    jobs: int = 1,
 ) -> list[Fig10Curve]:
     """Build both Figure 10 curves (10K and 50K benign)."""
+    results = run_scenario_grid(
+        fig10_scenarios(),
+        repetitions=repetitions,
+        seed=seed,
+        spawn_seeds=False,
+        workers=jobs,
+    )
     curves = []
-    for scenario in fig10_scenarios():
-        result = run_scenario(scenario, repetitions=repetitions, seed=seed)
+    for result in results:
         summaries = cumulative_saved_curve(result, fractions)
         curves.append(
             Fig10Curve(
-                benign=scenario.benign,
+                benign=result.scenario.benign,
                 fractions=fractions,
                 shuffles=tuple(summaries),
                 result=result,

@@ -16,8 +16,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..runtime.grids import run_scenario_grid
 from ..sim.scenarios import FIG8_BENIGN_COUNTS, FIG8_BOT_COUNTS
-from ..sim.shuffle_sim import ScenarioResult, ShuffleScenario, run_scenario
+from ..sim.shuffle_sim import ScenarioResult, ShuffleScenario
 from ..sim.stats import SampleSummary
 from .tables import render_table
 
@@ -41,31 +42,42 @@ def run_fig8(
     targets: tuple[float, ...] = (0.8, 0.95),
     repetitions: int = 30,
     seed: int = 0,
+    jobs: int = 1,
 ) -> list[Fig8Row]:
-    """Run the Figure 8 grid (shrink the grid or reps for quick runs)."""
-    rows = []
-    for benign in benign_counts:
-        for target in targets:
-            for bots in bot_counts:
-                scenario = ShuffleScenario(
-                    benign=benign,
-                    bots=bots,
-                    n_replicas=1000,
-                    target_fraction=target,
-                )
-                result = run_scenario(
-                    scenario, repetitions=repetitions, seed=seed
-                )
-                rows.append(
-                    Fig8Row(
-                        benign=benign,
-                        bots=bots,
-                        target=target,
-                        shuffles=result.shuffles,
-                        result=result,
-                    )
-                )
-    return rows
+    """Run the Figure 8 grid (shrink the grid or reps for quick runs).
+
+    ``jobs`` fans the grid out over worker processes; every cell keeps
+    the base seed it always had (``spawn_seeds=False``), so the numbers
+    are identical to the serial run for any job count.
+    """
+    scenarios = [
+        ShuffleScenario(
+            benign=benign,
+            bots=bots,
+            n_replicas=1000,
+            target_fraction=target,
+        )
+        for benign in benign_counts
+        for target in targets
+        for bots in bot_counts
+    ]
+    results = run_scenario_grid(
+        scenarios,
+        repetitions=repetitions,
+        seed=seed,
+        spawn_seeds=False,
+        workers=jobs,
+    )
+    return [
+        Fig8Row(
+            benign=result.scenario.benign,
+            bots=result.scenario.bots,
+            target=result.scenario.target_fraction,
+            shuffles=result.shuffles,
+            result=result,
+        )
+        for result in results
+    ]
 
 
 def render_fig8(rows: list[Fig8Row]) -> str:

@@ -10,8 +10,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..runtime.grids import run_scenario_grid
 from ..sim.scenarios import FIG8_BENIGN_COUNTS, FIG9_REPLICA_COUNTS
-from ..sim.shuffle_sim import ScenarioResult, ShuffleScenario, run_scenario
+from ..sim.shuffle_sim import ScenarioResult, ShuffleScenario
 from ..sim.stats import SampleSummary
 from .tables import render_table
 
@@ -37,31 +38,38 @@ def run_fig9(
     targets: tuple[float, ...] = (0.8, 0.95),
     repetitions: int = 30,
     seed: int = 0,
+    jobs: int = 1,
 ) -> list[Fig9Row]:
-    """Run the Figure 9 grid."""
-    rows = []
-    for benign in benign_counts:
-        for target in targets:
-            for n_replicas in replica_counts:
-                scenario = ShuffleScenario(
-                    benign=benign,
-                    bots=FIG9_BOTS,
-                    n_replicas=n_replicas,
-                    target_fraction=target,
-                )
-                result = run_scenario(
-                    scenario, repetitions=repetitions, seed=seed
-                )
-                rows.append(
-                    Fig9Row(
-                        benign=benign,
-                        n_replicas=n_replicas,
-                        target=target,
-                        shuffles=result.shuffles,
-                        result=result,
-                    )
-                )
-    return rows
+    """Run the Figure 9 grid (``jobs`` fans out; numbers are identical
+    to the serial run for any job count)."""
+    scenarios = [
+        ShuffleScenario(
+            benign=benign,
+            bots=FIG9_BOTS,
+            n_replicas=n_replicas,
+            target_fraction=target,
+        )
+        for benign in benign_counts
+        for target in targets
+        for n_replicas in replica_counts
+    ]
+    results = run_scenario_grid(
+        scenarios,
+        repetitions=repetitions,
+        seed=seed,
+        spawn_seeds=False,
+        workers=jobs,
+    )
+    return [
+        Fig9Row(
+            benign=result.scenario.benign,
+            n_replicas=result.scenario.n_replicas,
+            target=result.scenario.target_fraction,
+            shuffles=result.shuffles,
+            result=result,
+        )
+        for result in results
+    ]
 
 
 def render_fig9(rows: list[Fig9Row]) -> str:

@@ -4,7 +4,10 @@ Runs one (or all) of the paper's experiments and prints its table.  The
 full paper-fidelity grids can take minutes; ``--quick`` trims repetitions
 and grid density to something interactive while keeping every qualitative
 claim checkable.  ``--chart`` appends an ASCII rendition of the figure's
-curves where the experiment has any.
+curves where the experiment has any.  ``--jobs N`` fans the simulation
+grids (fig8/fig9/fig10/headline/ablations) out over N worker processes
+through :mod:`repro.runtime` — the numbers are identical for any N; the
+remaining experiments are closed-form or already fast and run serially.
 """
 
 from __future__ import annotations
@@ -20,70 +23,74 @@ from . import ablations, headline
 __all__ = ["main", "EXPERIMENTS"]
 
 
-def _run_fig3(quick: bool, chart: bool) -> tuple[str, object]:
+def _run_fig3(quick: bool, chart: bool, jobs: int) -> tuple[str, object]:
     rows = fig3.run_fig3()
     return fig3.render_fig3(rows), rows
 
 
-def _run_fig4(quick: bool, chart: bool) -> tuple[str, object]:
+def _run_fig4(quick: bool, chart: bool, jobs: int) -> tuple[str, object]:
     rows = fig4.run_fig4()
     return fig4.render_fig4(rows), rows
 
 
-def _run_fig5(quick: bool, chart: bool) -> tuple[str, object]:
+def _run_fig5(quick: bool, chart: bool, jobs: int) -> tuple[str, object]:
     counts = (30, 45, 60) if quick else fig5.FIG5_CLIENTS
     replicas = (4,) if quick else fig5.FIG5_REPLICA_COUNTS
     rows = fig5.run_fig5(counts, replicas)
     return fig5.render_fig5(rows), rows
 
 
-def _run_fig6(quick: bool, chart: bool) -> tuple[str, object]:
+def _run_fig6(quick: bool, chart: bool, jobs: int) -> tuple[str, object]:
     rows = fig6.run_fig6()
     return fig6.render_fig6(rows), rows
 
 
-def _run_fig7(quick: bool, chart: bool) -> tuple[str, object]:
+def _run_fig7(quick: bool, chart: bool, jobs: int) -> tuple[str, object]:
     repeats = 10 if quick else fig7.FIG7_REPEATS
     rows = fig7.run_fig7(repeats=repeats)
     return fig7.render_fig7(rows), rows
 
 
-def _run_fig8(quick: bool, chart: bool) -> tuple[str, object]:
+def _run_fig8(quick: bool, chart: bool, jobs: int) -> tuple[str, object]:
     if quick:
         rows = fig8.run_fig8(
-            bot_counts=(10_000, 30_000, 50_000, 100_000), repetitions=3
+            bot_counts=(10_000, 30_000, 50_000, 100_000),
+            repetitions=3,
+            jobs=jobs,
         )
     else:
-        rows = fig8.run_fig8(repetitions=30)
+        rows = fig8.run_fig8(repetitions=30, jobs=jobs)
     output = fig8.render_fig8(rows)
     if chart:
         output += "\n\n" + fig8.chart_fig8(rows)
     return output, rows
 
 
-def _run_fig9(quick: bool, chart: bool) -> tuple[str, object]:
+def _run_fig9(quick: bool, chart: bool, jobs: int) -> tuple[str, object]:
     if quick:
         rows = fig9.run_fig9(
-            replica_counts=(900, 1200, 1600, 2000), repetitions=3
+            replica_counts=(900, 1200, 1600, 2000),
+            repetitions=3,
+            jobs=jobs,
         )
     else:
-        rows = fig9.run_fig9(repetitions=30)
+        rows = fig9.run_fig9(repetitions=30, jobs=jobs)
     output = fig9.render_fig9(rows)
     if chart:
         output += "\n\n" + fig9.chart_fig9(rows)
     return output, rows
 
 
-def _run_fig10(quick: bool, chart: bool) -> tuple[str, object]:
+def _run_fig10(quick: bool, chart: bool, jobs: int) -> tuple[str, object]:
     reps = 3 if quick else 30
-    curves = fig10.run_fig10(repetitions=reps)
+    curves = fig10.run_fig10(repetitions=reps, jobs=jobs)
     output = fig10.render_fig10(curves)
     if chart:
         output += "\n\n" + fig10.chart_fig10(curves)
     return output, curves
 
 
-def _run_fig12(quick: bool, chart: bool) -> tuple[str, object]:
+def _run_fig12(quick: bool, chart: bool, jobs: int) -> tuple[str, object]:
     reps = 5 if quick else fig12.FIG12_REPEATS
     rows = fig12.run_fig12(repetitions=reps)
     output = fig12.render_fig12(rows)
@@ -92,18 +99,20 @@ def _run_fig12(quick: bool, chart: bool) -> tuple[str, object]:
     return output, rows
 
 
-def _run_headline(quick: bool, chart: bool) -> tuple[str, object]:
+def _run_headline(quick: bool, chart: bool, jobs: int) -> tuple[str, object]:
     reps = 3 if quick else 10
-    result = headline.run_headline(repetitions=reps)
+    result = headline.run_headline(repetitions=reps, jobs=jobs)
     return headline.render_headline(result), result
 
 
-def _run_ablations(quick: bool, chart: bool) -> tuple[str, object]:
-    results = ablations.run_ablations(repetitions=3 if quick else 10)
+def _run_ablations(quick: bool, chart: bool, jobs: int) -> tuple[str, object]:
+    results = ablations.run_ablations(
+        repetitions=3 if quick else 10, jobs=jobs
+    )
     return ablations.render_ablations(results), results
 
 
-EXPERIMENTS: dict[str, Callable[[bool, bool], tuple[str, object]]] = {
+EXPERIMENTS: dict[str, Callable[[bool, bool, int], tuple[str, object]]] = {
     "fig3": _run_fig3,
     "fig4": _run_fig4,
     "fig5": _run_fig5,
@@ -147,7 +156,19 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="also write the results as JSON to PATH",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help=(
+            "worker processes for the simulation grids (fig8/fig9/fig10/"
+            "headline/ablations); results are identical for any N"
+        ),
+    )
     args = parser.parse_args(argv)
+    if args.jobs < 1:
+        parser.error(f"--jobs must be >= 1, got {args.jobs}")
 
     names = list(EXPERIMENTS) if args.experiment == "all" else [
         args.experiment
@@ -155,7 +176,7 @@ def main(argv: list[str] | None = None) -> int:
     collected: dict[str, object] = {}
     for name in names:
         start = time.perf_counter()
-        output, data = EXPERIMENTS[name](args.quick, args.chart)
+        output, data = EXPERIMENTS[name](args.quick, args.chart, args.jobs)
         elapsed = time.perf_counter() - start
         collected[name] = data
         print(output)

@@ -1,0 +1,68 @@
+"""Parallel execution runtime: deterministic fan-out, result cache,
+resumable sweeps.
+
+The runtime turns a scenario grid into pure, content-fingerprinted
+tasks (:mod:`~repro.runtime.task`), runs them through a
+``concurrent.futures`` process pool with per-task retry/timeout
+(:mod:`~repro.runtime.executor`), checkpoints every completed cell in a
+content-addressed on-disk cache (:mod:`~repro.runtime.cache`), and
+adapts the simulation layer's scenario and campaign grids onto that
+machinery (:mod:`~repro.runtime.grids`).
+
+Determinism contract: a task's seed stream and its fingerprint are pure
+functions of the task's content, and every value is JSON-normalized, so
+a grid's results are byte-identical for any worker count, any
+completion order, and any mixture of fresh and cached cells.
+
+Importing this package registers the sim-layer execution backends
+(see :mod:`repro.sim.backend`); ``import repro`` does so automatically.
+"""
+
+from __future__ import annotations
+
+from .cache import CacheEntry, ResultCache
+from .executor import (
+    GridError,
+    RetryPolicy,
+    RunReport,
+    TaskError,
+    TaskOutcome,
+    run_tasks,
+)
+from .grids import (
+    run_campaign_grid,
+    run_scenario_grid,
+    run_scenario_grid_report,
+    scenario_tasks,
+    sweep_records,
+)
+from .task import (
+    Task,
+    canonical_json,
+    module_code_version,
+    seed_sequence_for,
+    task_fingerprint,
+    task_seed_sequence,
+)
+
+__all__ = [
+    "CacheEntry",
+    "GridError",
+    "ResultCache",
+    "RetryPolicy",
+    "RunReport",
+    "Task",
+    "TaskError",
+    "TaskOutcome",
+    "canonical_json",
+    "module_code_version",
+    "run_campaign_grid",
+    "run_scenario_grid",
+    "run_scenario_grid_report",
+    "run_tasks",
+    "scenario_tasks",
+    "seed_sequence_for",
+    "sweep_records",
+    "task_fingerprint",
+    "task_seed_sequence",
+]

@@ -1,0 +1,143 @@
+"""Content-addressed on-disk result cache with atomic, resumable writes.
+
+Layout (one file per task, addressed by fingerprint)::
+
+    <root>/
+      ab/
+        ab34…ef.json     # {"fingerprint", "key", "function",
+        …                #  "value", "wall_time_s"}
+
+Entries are written via a temporary file in the same directory followed
+by :func:`os.replace`, so a killed or crashed run can never leave a torn
+entry — whatever is in the cache is a complete result, which is what
+makes an interrupted sweep safely resumable.  A corrupt entry (manual
+tampering, disk fault) is treated as a miss and removed.
+
+The cache is *content-addressed*: the fingerprint already encodes the
+task's function, parameters, and code version (see
+:mod:`repro.runtime.task`), so invalidation is mostly automatic — change
+the parameters or the code and the lookups simply miss.  Explicit
+:meth:`ResultCache.invalidate` / :meth:`ResultCache.clear` exist for the
+remaining cases (e.g. a dependency upgrade the code hash cannot see).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from pathlib import Path
+from typing import Iterator
+
+__all__ = ["CacheEntry", "ResultCache"]
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheEntry:
+    """One cached task result."""
+
+    fingerprint: str
+    value: object
+    key: str | None = None
+    function: str | None = None
+    wall_time_s: float = 0.0
+
+
+class ResultCache:
+    """Fingerprint-addressed JSON store under one root directory."""
+
+    def __init__(self, root: Path | str) -> None:
+        self.root = Path(root)
+        #: lookup counters for telemetry (reset per process, not stored).
+        self.hits = 0
+        self.misses = 0
+        self.writes = 0
+
+    def _path(self, fingerprint: str) -> Path:
+        return self.root / fingerprint[:2] / f"{fingerprint}.json"
+
+    # ------------------------------------------------------------------
+    # lookups
+    # ------------------------------------------------------------------
+    def get(self, fingerprint: str) -> CacheEntry | None:
+        """The cached entry for ``fingerprint``, or None on a miss.
+
+        A torn or corrupt file counts as a miss and is deleted so the
+        task simply recomputes.
+        """
+        path = self._path(fingerprint)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+            entry = CacheEntry(
+                fingerprint=payload["fingerprint"],
+                value=payload["value"],
+                key=payload.get("key"),
+                function=payload.get("function"),
+                wall_time_s=float(payload.get("wall_time_s", 0.0)),
+            )
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError, OSError):
+            path.unlink(missing_ok=True)
+            self.misses += 1
+            return None
+        if entry.fingerprint != fingerprint:
+            # Moved or hand-edited file: never serve it under a key its
+            # content does not match.
+            path.unlink(missing_ok=True)
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return self._path(fingerprint).exists()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.iter_fingerprints())
+
+    def iter_fingerprints(self) -> Iterator[str]:
+        """All stored fingerprints, in sorted (deterministic) order."""
+        if not self.root.is_dir():
+            return
+        for path in sorted(self.root.glob("??/*.json")):
+            yield path.stem
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+    def put(self, entry: CacheEntry) -> None:
+        """Atomically persist one completed result (the checkpoint)."""
+        path = self._path(entry.fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "fingerprint": entry.fingerprint,
+            "key": entry.key,
+            "function": entry.function,
+            "value": entry.value,
+            "wall_time_s": entry.wall_time_s,
+        }
+        tmp = path.parent / f".{os.getpid()}.{path.name}.tmp"
+        tmp.write_text(
+            json.dumps(payload, sort_keys=True), encoding="utf-8"
+        )
+        os.replace(tmp, path)
+        self.writes += 1
+
+    def invalidate(self, fingerprint: str) -> bool:
+        """Drop one entry; True when something was removed."""
+        path = self._path(fingerprint)
+        try:
+            path.unlink()
+        except FileNotFoundError:
+            return False
+        return True
+
+    def clear(self) -> int:
+        """Drop every entry; returns the number removed."""
+        removed = 0
+        for fingerprint in list(self.iter_fingerprints()):
+            if self.invalidate(fingerprint):
+                removed += 1
+        return removed

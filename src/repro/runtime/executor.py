@@ -1,0 +1,535 @@
+"""Deterministic parallel task execution with checkpoints and telemetry.
+
+:func:`run_tasks` turns a list of :class:`~repro.runtime.task.Task`
+objects into a :class:`RunReport`:
+
+- **Determinism** — every task's inputs (parameters, injected seed
+  sequence) are a pure function of the task itself, results are indexed
+  by task position, and every value is round-tripped through JSON, so
+  the report is byte-identical regardless of worker count or completion
+  order, and indistinguishable between fresh and cached execution.
+- **Checkpointing** — with a :class:`~repro.runtime.cache.ResultCache`,
+  each completed task is persisted *as it finishes*; a crashed, killed,
+  or partially failed grid resumes from the cache on the next run
+  instead of recomputing.
+- **Failure containment** — a raising task produces a structured
+  :class:`TaskError` in its outcome instead of tearing down the grid;
+  per-attempt retries use deterministic bounded exponential backoff.
+- **Timeouts** — in process-pool mode each attempt has a deadline
+  (measured from submission; submission is throttled to one in-flight
+  task per worker, so queue time never counts against a task).  A
+  worker that exceeds it is abandoned: its eventual result is discarded
+  and its slot is released, which can transiently oversubscribe CPUs
+  but never loses the rest of the grid.  Serial mode cannot interrupt
+  a running call and therefore ignores ``timeout``.
+- **Telemetry** — per-task wall time, attempts, and cache provenance,
+  exportable as JSON via :meth:`RunReport.write_json`.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import json
+import time
+import traceback
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
+from pathlib import Path
+from typing import Any, Callable, Iterable, Mapping, Sequence
+
+import numpy as np
+
+from .cache import CacheEntry, ResultCache
+from .task import Task, entropy_words, task_fingerprint
+
+__all__ = [
+    "GridError",
+    "ProgressFn",
+    "RetryPolicy",
+    "RunReport",
+    "TaskError",
+    "TaskOutcome",
+    "run_tasks",
+]
+
+#: progress callback: (outcome, completed count, total count).  Called
+#: in *completion* order (nondeterministic under parallelism); only the
+#: final report ordering is part of the determinism contract.
+ProgressFn = Callable[["TaskOutcome", int, int], None]
+
+#: scheduler tick bounds (seconds) for the pool event loop.
+_MIN_WAIT = 0.01
+_MAX_WAIT = 0.25
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """Per-task retry, backoff, and timeout settings.
+
+    Attributes:
+        retries: extra attempts after the first failure (0 = fail fast).
+        backoff_base: sleep before the first retry, in seconds.
+        backoff_cap: upper bound on any single backoff sleep.
+        timeout: per-attempt deadline in seconds (pool mode only; serial
+            execution cannot interrupt a running call).
+    """
+
+    retries: int = 0
+    backoff_base: float = 0.05
+    backoff_cap: float = 2.0
+    timeout: float | None = None
+
+    def backoff(self, failed_attempts: int) -> float:
+        """Deterministic bounded exponential backoff (no jitter: retry
+        timing must not perturb reproducibility or tests)."""
+        if failed_attempts < 1:
+            return 0.0
+        return min(
+            self.backoff_base * (2 ** (failed_attempts - 1)),
+            self.backoff_cap,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class TaskError:
+    """Structured record of a task's final failure."""
+
+    error_type: str
+    message: str
+    traceback_text: str
+    attempts: int
+
+    def to_json_dict(self) -> dict[str, object]:
+        return dataclasses.asdict(self)
+
+
+@dataclasses.dataclass(frozen=True)
+class TaskOutcome:
+    """One task's result (or failure) plus execution telemetry."""
+
+    index: int
+    key: str
+    fingerprint: str
+    value: object = None
+    error: TaskError | None = None
+    cached: bool = False
+    attempts: int = 0
+    wall_time_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def status(self) -> str:
+        if self.error is not None:
+            return "failed"
+        return "cached" if self.cached else "ok"
+
+    def to_json_dict(self) -> dict[str, object]:
+        return {
+            "index": self.index,
+            "key": self.key,
+            "fingerprint": self.fingerprint,
+            "status": self.status,
+            "attempts": self.attempts,
+            "wall_time_s": self.wall_time_s,
+            "error": None if self.error is None else self.error.to_json_dict(),
+        }
+
+
+class GridError(RuntimeError):
+    """Raised when a grid finishes with failed tasks.
+
+    Successful results are already checkpointed in the cache (when one
+    was given), so rerunning the same grid with the same cache resumes
+    from where it left off instead of recomputing.
+    """
+
+    def __init__(self, report: "RunReport") -> None:
+        self.report = report
+        failures = report.failures
+        preview = "; ".join(
+            f"{outcome.key}: {outcome.error.error_type}"
+            f" ({outcome.error.message})"
+            for outcome in failures[:3]
+            if outcome.error is not None
+        )
+        if len(failures) > 3:
+            preview += f"; … {len(failures) - 3} more"
+        super().__init__(
+            f"{len(failures)} of {len(report.outcomes)} tasks failed: "
+            f"{preview}. Completed results are checkpointed; rerun with "
+            "the same cache to resume."
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class RunReport:
+    """Outcome of one :func:`run_tasks` call, in task order."""
+
+    outcomes: tuple[TaskOutcome, ...]
+    workers: int
+    wall_time_s: float
+
+    @property
+    def failures(self) -> list[TaskOutcome]:
+        return [outcome for outcome in self.outcomes if not outcome.ok]
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for outcome in self.outcomes if outcome.cached)
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(
+            1
+            for outcome in self.outcomes
+            if not outcome.cached and outcome.ok
+        )
+
+    def raise_for_failures(self) -> None:
+        if self.failures:
+            raise GridError(self)
+
+    def values(self) -> list[object]:
+        """All task values in task order; raises :class:`GridError` if
+        any task failed."""
+        self.raise_for_failures()
+        return [outcome.value for outcome in self.outcomes]
+
+    def to_json_dict(self) -> dict[str, object]:
+        """Machine-readable run telemetry (values excluded by design —
+        they live in the cache; this is the progress/wall-time record)."""
+        return {
+            "workers": self.workers,
+            "n_tasks": len(self.outcomes),
+            "n_cached": self.cache_hits,
+            "n_failed": len(self.failures),
+            "wall_time_s": self.wall_time_s,
+            "task_wall_time_s": sum(
+                outcome.wall_time_s for outcome in self.outcomes
+            ),
+            "tasks": [outcome.to_json_dict() for outcome in self.outcomes],
+        }
+
+    def write_json(self, path: Path | str) -> None:
+        Path(path).write_text(
+            json.dumps(self.to_json_dict(), indent=2, sort_keys=True)
+            + "\n",
+            encoding="utf-8",
+        )
+
+
+# ----------------------------------------------------------------------
+# execution primitives
+# ----------------------------------------------------------------------
+def _execute(
+    fn: Callable[..., Any],
+    params: Mapping[str, object],
+    seed_param: str | None,
+    words: Sequence[int] | None,
+) -> object:
+    """Worker-side entry point: seed injection + JSON normalization.
+
+    Module-level so process pools can pickle it by reference.  The JSON
+    round trip makes fresh values byte-compatible with cache loads
+    (tuples become lists, keys become strings) — exact for floats, which
+    round-trip losslessly through Python's JSON.
+    """
+    call_params = dict(params)
+    if seed_param is not None:
+        call_params[seed_param] = np.random.SeedSequence(list(words or ()))
+    value = fn(**call_params)
+    return json.loads(json.dumps(value))
+
+
+def _error_from(exc: BaseException, attempts: int) -> TaskError:
+    return TaskError(
+        error_type=type(exc).__name__,
+        message=str(exc),
+        traceback_text="".join(traceback.format_exception(exc)),
+        attempts=attempts,
+    )
+
+
+def _checkpoint(
+    cache: ResultCache | None, task: Task, outcome: TaskOutcome
+) -> None:
+    if cache is None or not outcome.ok or outcome.cached:
+        return
+    cache.put(
+        CacheEntry(
+            fingerprint=outcome.fingerprint,
+            value=outcome.value,
+            key=outcome.key,
+            function=task.function_ref,
+            wall_time_s=outcome.wall_time_s,
+        )
+    )
+
+
+def _run_one_serial(
+    task: Task, fingerprint: str, index: int, policy: RetryPolicy
+) -> TaskOutcome:
+    words = entropy_words(fingerprint) if task.seed_param else None
+    attempts = 0
+    elapsed = 0.0
+    while True:
+        attempts += 1
+        begun = time.perf_counter()
+        try:
+            value = _execute(task.fn, task.params, task.seed_param, words)
+        except Exception as exc:
+            elapsed += time.perf_counter() - begun
+            if attempts <= policy.retries:
+                time.sleep(policy.backoff(attempts))
+                continue
+            return TaskOutcome(
+                index=index,
+                key=task.label,
+                fingerprint=fingerprint,
+                error=_error_from(exc, attempts),
+                attempts=attempts,
+                wall_time_s=elapsed,
+            )
+        elapsed += time.perf_counter() - begun
+        return TaskOutcome(
+            index=index,
+            key=task.label,
+            fingerprint=fingerprint,
+            value=value,
+            attempts=attempts,
+            wall_time_s=elapsed,
+        )
+
+
+def _run_in_pool(
+    tasks: Sequence[Task],
+    fingerprints: Sequence[str],
+    pending: Sequence[int],
+    workers: int,
+    policy: RetryPolicy,
+    cache: ResultCache | None,
+    emit: Callable[[TaskOutcome], None],
+) -> None:
+    """Pool event loop: throttled submission, retries, deadlines."""
+    queue: deque[tuple[int, int]] = deque((i, 1) for i in pending)
+    retry_heap: list[tuple[float, int, int]] = []  # (eligible_at, idx, att)
+    running: dict[Future, tuple[int, int, float]] = {}
+    elapsed: dict[int, float] = {i: 0.0 for i in pending}
+
+    def finish(index: int, attempt: int, exc: BaseException | None,
+               value: object) -> None:
+        task = tasks[index]
+        if exc is None:
+            outcome = TaskOutcome(
+                index=index,
+                key=task.label,
+                fingerprint=fingerprints[index],
+                value=value,
+                attempts=attempt,
+                wall_time_s=elapsed[index],
+            )
+            _checkpoint(cache, task, outcome)
+            emit(outcome)
+        elif attempt <= policy.retries:
+            heapq.heappush(
+                retry_heap,
+                (
+                    time.perf_counter() + policy.backoff(attempt),
+                    index,
+                    attempt + 1,
+                ),
+            )
+        else:
+            emit(
+                TaskOutcome(
+                    index=index,
+                    key=task.label,
+                    fingerprint=fingerprints[index],
+                    error=_error_from(exc, attempt),
+                    attempts=attempt,
+                    wall_time_s=elapsed[index],
+                )
+            )
+
+    pool = ProcessPoolExecutor(max_workers=workers)
+    abandoned = False
+    try:
+        while queue or retry_heap or running:
+            now = time.perf_counter()
+            while retry_heap and retry_heap[0][0] <= now:
+                _, index, attempt = heapq.heappop(retry_heap)
+                queue.append((index, attempt))
+            while queue and len(running) < workers:
+                index, attempt = queue.popleft()
+                task = tasks[index]
+                words = (
+                    entropy_words(fingerprints[index])
+                    if task.seed_param
+                    else None
+                )
+                future = pool.submit(
+                    _execute, task.fn, dict(task.params),
+                    task.seed_param, words,
+                )
+                running[future] = (index, attempt, time.perf_counter())
+            if not running:
+                if retry_heap:
+                    time.sleep(
+                        max(_MIN_WAIT, retry_heap[0][0] - time.perf_counter())
+                    )
+                continue
+
+            done, _ = wait(
+                set(running),
+                timeout=_wait_budget(running, retry_heap, policy),
+                return_when=FIRST_COMPLETED,
+            )
+            now = time.perf_counter()
+            for future in done:
+                index, attempt, submitted_at = running.pop(future)
+                elapsed[index] += now - submitted_at
+                try:
+                    value = future.result()
+                except Exception as exc:
+                    finish(index, attempt, exc, None)
+                else:
+                    finish(index, attempt, None, value)
+
+            if policy.timeout is None:
+                continue
+            for future in [
+                f
+                for f, (_, _, submitted_at) in running.items()
+                if now - submitted_at >= policy.timeout
+            ]:
+                index, attempt, submitted_at = running.pop(future)
+                elapsed[index] += now - submitted_at
+                if not future.cancel():
+                    # Already running in a worker we cannot interrupt:
+                    # abandon it — the eventual result is discarded and
+                    # the worker pool is released without joining it.
+                    abandoned = True
+                finish(
+                    index,
+                    attempt,
+                    TimeoutError(
+                        f"attempt exceeded the {policy.timeout:g}s "
+                        "per-task deadline"
+                    ),
+                    None,
+                )
+    finally:
+        # Abandoned workers may still be computing; don't block the
+        # grid's completion on joining them.
+        pool.shutdown(wait=not abandoned, cancel_futures=True)
+
+
+def _wait_budget(
+    running: Mapping[Future, tuple[int, int, float]],
+    retry_heap: Sequence[tuple[float, int, int]],
+    policy: RetryPolicy,
+) -> float:
+    """Sleep budget until the next interesting event (completion polls,
+    a retry becoming eligible, or a deadline expiring)."""
+    now = time.perf_counter()
+    budget = _MAX_WAIT
+    if retry_heap:
+        budget = min(budget, retry_heap[0][0] - now)
+    if policy.timeout is not None:
+        next_deadline = min(
+            submitted_at + policy.timeout
+            for (_, _, submitted_at) in running.values()
+        )
+        budget = min(budget, next_deadline - now)
+    return max(_MIN_WAIT, budget)
+
+
+# ----------------------------------------------------------------------
+# the public entry point
+# ----------------------------------------------------------------------
+def run_tasks(
+    tasks: Iterable[Task],
+    *,
+    workers: int = 1,
+    cache: ResultCache | None = None,
+    policy: RetryPolicy | None = None,
+    progress: ProgressFn | None = None,
+) -> RunReport:
+    """Run every task; return outcomes in task order.
+
+    Args:
+        tasks: the grid.  Each task's function must be module-level
+            (picklable) and return a JSON-encodable value.
+        workers: 1 runs in-process; >1 uses a ``concurrent.futures``
+            process pool with at most ``workers`` tasks in flight.
+        cache: optional result cache consulted before execution and
+            checkpointed after every completion.
+        policy: retry/backoff/timeout settings (default: no retries,
+            no timeout).
+        progress: callback invoked once per finished task (cache hits
+            included), in completion order.
+
+    The returned report is deterministic: identical tasks produce
+    byte-identical outcome values for any ``workers`` and any mixture
+    of cached and fresh results.
+    """
+    task_list = list(tasks)
+    policy = policy if policy is not None else RetryPolicy()
+    if workers < 1:
+        raise ValueError(f"workers={workers} must be >= 1")
+    begun = time.perf_counter()
+    fingerprints = [task_fingerprint(task) for task in task_list]
+    outcomes: list[TaskOutcome | None] = [None] * len(task_list)
+    total = len(task_list)
+    done_count = 0
+
+    def emit(outcome: TaskOutcome) -> None:
+        nonlocal done_count
+        done_count += 1
+        outcomes[outcome.index] = outcome
+        if progress is not None:
+            progress(outcome, done_count, total)
+
+    pending: list[int] = []
+    for index, fingerprint in enumerate(fingerprints):
+        entry = cache.get(fingerprint) if cache is not None else None
+        if entry is not None:
+            emit(
+                TaskOutcome(
+                    index=index,
+                    key=task_list[index].label,
+                    fingerprint=fingerprint,
+                    value=entry.value,
+                    cached=True,
+                )
+            )
+        else:
+            pending.append(index)
+
+    if workers == 1:
+        for index in pending:
+            outcome = _run_one_serial(
+                task_list[index], fingerprints[index], index, policy
+            )
+            _checkpoint(cache, task_list[index], outcome)
+            emit(outcome)
+    elif pending:
+        _run_in_pool(
+            task_list, fingerprints, pending, workers, policy, cache, emit
+        )
+
+    finished = [outcome for outcome in outcomes if outcome is not None]
+    return RunReport(
+        outcomes=tuple(finished),
+        workers=workers,
+        wall_time_s=time.perf_counter() - begun,
+    )

@@ -1,0 +1,486 @@
+"""Grid adapters: scenario and campaign sweeps as fingerprinted tasks.
+
+This module is the domain bridge between the generic execution runtime
+(:mod:`repro.runtime.executor`) and the simulation layer: it encodes
+:class:`~repro.sim.shuffle_sim.ShuffleScenario` /
+:class:`~repro.sim.campaign.CampaignConfig` cells as JSON-parameter
+:class:`~repro.runtime.task.Task` objects, runs them through
+:func:`~repro.runtime.executor.run_tasks`, and decodes the results back
+into the simulation dataclasses the figure drivers already consume.
+
+Seed contract
+    A grid cell's stream is reconstructed in the worker as
+    ``SeedSequence(seed, spawn_key=tuple(spawn_key))``, which is exactly
+    the child ``SeedSequence(seed).spawn(n)[i]`` would yield for
+    ``spawn_key=[i]`` — so sweeps match the serial spawn-based
+    derivation bit for bit, for any worker count.  Figure grids that
+    historically reuse one base seed per cell pass ``spawn_seeds=False``
+    (empty spawn key), which degenerates to ``SeedSequence(seed)`` and
+    preserves their published numbers.
+
+Code versioning
+    Cell fingerprints embed a combined hash of the simulation modules
+    the cell actually executes (engine, arrivals, statistics), not just
+    this adapter file, so editing the physics invalidates cached grids.
+
+Importing this module registers the ``"sweep"`` and ``"campaign_batch"``
+backends with :mod:`repro.sim.backend`, which is how
+:func:`repro.sim.sweep.sweep` and
+:func:`repro.sim.campaign.run_campaign_batch` gain their ``workers=``
+path without the sim layer ever importing the runtime layer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import hashlib
+from pathlib import Path
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..sim.backend import register_backend
+from ..sim.campaign import (
+    AttackWave,
+    CampaignConfig,
+    CampaignResult,
+    WaveOutcome,
+    run_campaign,
+)
+from ..sim.shuffle_sim import (
+    RunRecord,
+    ScenarioResult,
+    ShuffleScenario,
+    run_scenario,
+)
+from ..sim.stats import SampleSummary
+from ..sim.sweep import record_from_result
+from .cache import ResultCache
+from .executor import ProgressFn, RetryPolicy, RunReport, run_tasks
+from .task import Task, module_code_version
+
+__all__ = [
+    "run_campaign_grid",
+    "run_scenario_grid",
+    "run_scenario_grid_report",
+    "scenario_tasks",
+    "sweep_records",
+]
+
+#: modules whose source participates in scenario-cell fingerprints.
+_SCENARIO_CODE_MODULES = (
+    "repro.core.shuffler",
+    "repro.sim.arrivals",
+    "repro.sim.shuffle_sim",
+    "repro.sim.stats",
+)
+#: modules whose source participates in campaign-cell fingerprints.
+_CAMPAIGN_CODE_MODULES = (
+    "repro.core.shuffler",
+    "repro.sim.campaign",
+    "repro.sim.stats",
+)
+
+
+@functools.lru_cache(maxsize=None)
+def _combined_code_version(module_names: tuple[str, ...]) -> str:
+    digest = hashlib.sha256()
+    for name in module_names:
+        digest.update(name.encode("utf-8"))
+        digest.update(module_code_version(name).encode("utf-8"))
+    return digest.hexdigest()[:16]
+
+
+def _seed_sequence(
+    seed: int, spawn_key: Sequence[int]
+) -> np.random.SeedSequence:
+    """``SeedSequence(seed).spawn(n)[i]`` reconstructed from plain JSON.
+
+    numpy defines the i-th spawned child of ``SeedSequence(seed)`` as
+    ``SeedSequence(seed, spawn_key=(i,))``, so ``(seed, [i])`` round-
+    trips the exact child through JSON task parameters.  An empty spawn
+    key is the base sequence itself.
+    """
+    return np.random.SeedSequence(seed, spawn_key=tuple(spawn_key))
+
+
+# ----------------------------------------------------------------------
+# codecs: simulation dataclasses <-> JSON task payloads
+# ----------------------------------------------------------------------
+def _encode_scenario(scenario: ShuffleScenario) -> dict[str, object]:
+    return dataclasses.asdict(scenario)
+
+
+def _decode_scenario(payload: Mapping[str, object]) -> ShuffleScenario:
+    return ShuffleScenario(**payload)  # type: ignore[arg-type]
+
+
+def _encode_summary(summary: SampleSummary) -> dict[str, object]:
+    return {
+        "mean": float(summary.mean),
+        "half_width": float(summary.half_width),
+        "n": int(summary.n),
+        "confidence": float(summary.confidence),
+        "std": float(summary.std),
+    }
+
+
+def _decode_summary(payload: Mapping[str, object]) -> SampleSummary:
+    return SampleSummary(
+        mean=float(payload["mean"]),  # type: ignore[arg-type]
+        half_width=float(payload["half_width"]),  # type: ignore[arg-type]
+        n=int(payload["n"]),  # type: ignore[arg-type]
+        confidence=float(payload["confidence"]),  # type: ignore[arg-type]
+        std=float(payload["std"]),  # type: ignore[arg-type]
+    )
+
+
+def _encode_run(run: RunRecord) -> dict[str, object]:
+    return {
+        "n_shuffles": int(run.n_shuffles),
+        "benign_saved": int(run.benign_saved),
+        "benign_initial": int(run.benign_initial),
+        "benign_total": int(run.benign_total),
+        "reached_target": bool(run.reached_target),
+        "saved_per_round": [int(saved) for saved in run.saved_per_round],
+    }
+
+
+def _decode_run(payload: Mapping[str, object]) -> RunRecord:
+    return RunRecord(
+        n_shuffles=int(payload["n_shuffles"]),  # type: ignore[arg-type]
+        benign_saved=int(payload["benign_saved"]),  # type: ignore[arg-type]
+        benign_initial=int(payload["benign_initial"]),  # type: ignore[arg-type]
+        benign_total=int(payload["benign_total"]),  # type: ignore[arg-type]
+        reached_target=bool(payload["reached_target"]),
+        saved_per_round=tuple(
+            int(saved)
+            for saved in payload["saved_per_round"]  # type: ignore[union-attr]
+        ),
+    )
+
+
+def _encode_scenario_result(result: ScenarioResult) -> dict[str, object]:
+    return {
+        "scenario": _encode_scenario(result.scenario),
+        "runs": [_encode_run(run) for run in result.runs],
+        "shuffles": _encode_summary(result.shuffles),
+        "saved_fraction": _encode_summary(result.saved_fraction),
+    }
+
+
+def _decode_scenario_result(payload: Mapping[str, object]) -> ScenarioResult:
+    return ScenarioResult(
+        scenario=_decode_scenario(payload["scenario"]),  # type: ignore[arg-type]
+        runs=tuple(
+            _decode_run(run)
+            for run in payload["runs"]  # type: ignore[union-attr]
+        ),
+        shuffles=_decode_summary(payload["shuffles"]),  # type: ignore[arg-type]
+        saved_fraction=_decode_summary(
+            payload["saved_fraction"]  # type: ignore[arg-type]
+        ),
+    )
+
+
+def _encode_campaign_config(config: CampaignConfig) -> dict[str, object]:
+    return {
+        "waves": [dataclasses.asdict(wave) for wave in config.waves],
+        "horizon_hours": float(config.horizon_hours),
+        "baseline_replicas": int(config.baseline_replicas),
+        "shuffle_replicas": int(config.shuffle_replicas),
+        "shuffle_seconds": float(config.shuffle_seconds),
+    }
+
+
+def _decode_campaign_config(payload: Mapping[str, object]) -> CampaignConfig:
+    return CampaignConfig(
+        waves=tuple(
+            AttackWave(**wave)
+            for wave in payload["waves"]  # type: ignore[union-attr]
+        ),
+        horizon_hours=float(payload["horizon_hours"]),  # type: ignore[arg-type]
+        baseline_replicas=int(payload["baseline_replicas"]),  # type: ignore[arg-type]
+        shuffle_replicas=int(payload["shuffle_replicas"]),  # type: ignore[arg-type]
+        shuffle_seconds=float(payload["shuffle_seconds"]),  # type: ignore[arg-type]
+    )
+
+
+def _encode_campaign_result(result: CampaignResult) -> dict[str, object]:
+    return {
+        "outcomes": [
+            {
+                "wave": dataclasses.asdict(outcome.wave),
+                "shuffles": int(outcome.shuffles),
+                "saved_fraction": float(outcome.saved_fraction),
+                "mitigation_hours": float(outcome.mitigation_hours),
+            }
+            for outcome in result.outcomes
+        ],
+        "replica_hours_reactive": float(result.replica_hours_reactive),
+        "replica_hours_always_on": float(result.replica_hours_always_on),
+    }
+
+
+def _decode_campaign_result(payload: Mapping[str, object]) -> CampaignResult:
+    return CampaignResult(
+        outcomes=tuple(
+            WaveOutcome(
+                wave=AttackWave(**outcome["wave"]),
+                shuffles=int(outcome["shuffles"]),
+                saved_fraction=float(outcome["saved_fraction"]),
+                mitigation_hours=float(outcome["mitigation_hours"]),
+            )
+            for outcome in payload["outcomes"]  # type: ignore[union-attr]
+        ),
+        replica_hours_reactive=float(
+            payload["replica_hours_reactive"]  # type: ignore[arg-type]
+        ),
+        replica_hours_always_on=float(
+            payload["replica_hours_always_on"]  # type: ignore[arg-type]
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# worker-side cell functions (module-level: picklable by reference)
+# ----------------------------------------------------------------------
+def scenario_cell(
+    scenario: Mapping[str, object],
+    repetitions: int,
+    seed: int,
+    spawn_key: Sequence[int],
+    confidence: float,
+) -> dict[str, object]:
+    """Run one scenario cell from its JSON payload; return encoded result."""
+    result = run_scenario(
+        _decode_scenario(scenario),
+        repetitions=repetitions,
+        seed=_seed_sequence(seed, spawn_key),
+        confidence=confidence,
+    )
+    return _encode_scenario_result(result)
+
+
+def campaign_cell(
+    config: Mapping[str, object],
+    seed: int,
+    spawn_key: Sequence[int],
+    planner: str,
+    estimator: str,
+) -> dict[str, object]:
+    """Run one campaign cell from its JSON payload; return encoded result."""
+    result = run_campaign(
+        _decode_campaign_config(config),
+        seed=_seed_sequence(seed, spawn_key),
+        planner=planner,
+        estimator=estimator,
+    )
+    return _encode_campaign_result(result)
+
+
+# ----------------------------------------------------------------------
+# grid builders and runners
+# ----------------------------------------------------------------------
+def scenario_tasks(
+    scenarios: Sequence[ShuffleScenario],
+    *,
+    repetitions: int = 5,
+    seed: int = 0,
+    confidence: float = 0.99,
+    spawn_seeds: bool = True,
+) -> list[Task]:
+    """One fingerprinted task per scenario cell.
+
+    ``spawn_seeds=True`` gives cell ``i`` the stream of
+    ``SeedSequence(seed).spawn(n)[i]`` (independent cells — the sweep
+    contract); ``spawn_seeds=False`` hands every cell the base
+    ``SeedSequence(seed)`` (the figure drivers' historical convention).
+    """
+    version = _combined_code_version(_SCENARIO_CODE_MODULES)
+    return [
+        Task(
+            fn=scenario_cell,
+            params={
+                "scenario": _encode_scenario(scenario),
+                "repetitions": repetitions,
+                "seed": seed,
+                "spawn_key": [index] if spawn_seeds else [],
+                "confidence": confidence,
+            },
+            key=f"scenario[{index}] {scenario.describe()}",
+            code_version=version,
+        )
+        for index, scenario in enumerate(scenarios)
+    ]
+
+
+def _coerce_cache(
+    cache: ResultCache | Path | str | None,
+) -> ResultCache | None:
+    if cache is None or isinstance(cache, ResultCache):
+        return cache
+    return ResultCache(cache)
+
+
+def run_scenario_grid(
+    scenarios: Sequence[ShuffleScenario],
+    *,
+    repetitions: int = 5,
+    seed: int = 0,
+    confidence: float = 0.99,
+    spawn_seeds: bool = True,
+    workers: int = 1,
+    cache: ResultCache | Path | str | None = None,
+    policy: RetryPolicy | None = None,
+    progress: ProgressFn | None = None,
+) -> list[ScenarioResult]:
+    """Run a scenario grid through the runtime; results in grid order.
+
+    Deterministic for any ``workers``: every cell's stream derives only
+    from ``(seed, cell index)`` (see :func:`scenario_tasks`), and all
+    values are JSON-normalized, so serial, parallel, and cache-resumed
+    runs are byte-identical.  Raises
+    :class:`~repro.runtime.executor.GridError` when cells fail; the
+    completed cells are already checkpointed when a cache is given.
+    """
+    results, _report = run_scenario_grid_report(
+        scenarios,
+        repetitions=repetitions,
+        seed=seed,
+        confidence=confidence,
+        spawn_seeds=spawn_seeds,
+        workers=workers,
+        cache=cache,
+        policy=policy,
+        progress=progress,
+    )
+    return results
+
+
+def run_campaign_grid(
+    configs: Sequence[CampaignConfig],
+    *,
+    seed: int = 0,
+    planner: str = "greedy",
+    estimator: str = "oracle",
+    workers: int = 1,
+    cache: ResultCache | Path | str | None = None,
+    policy: RetryPolicy | None = None,
+    progress: ProgressFn | None = None,
+) -> list[CampaignResult]:
+    """Run a batch of campaign configs; one spawned seed stream each."""
+    version = _combined_code_version(_CAMPAIGN_CODE_MODULES)
+    tasks = [
+        Task(
+            fn=campaign_cell,
+            params={
+                "config": _encode_campaign_config(config),
+                "seed": seed,
+                "spawn_key": [index],
+                "planner": planner,
+                "estimator": estimator,
+            },
+            key=f"campaign[{index}] waves={len(config.waves)}",
+            code_version=version,
+        )
+        for index, config in enumerate(configs)
+    ]
+    report = run_tasks(
+        tasks,
+        workers=workers,
+        cache=_coerce_cache(cache),
+        policy=policy,
+        progress=progress,
+    )
+    return [
+        _decode_campaign_result(value)  # type: ignore[arg-type]
+        for value in report.values()
+    ]
+
+
+def run_scenario_grid_report(
+    scenarios: Sequence[ShuffleScenario],
+    *,
+    repetitions: int = 5,
+    seed: int = 0,
+    confidence: float = 0.99,
+    spawn_seeds: bool = True,
+    workers: int = 1,
+    cache: ResultCache | Path | str | None = None,
+    policy: RetryPolicy | None = None,
+    progress: ProgressFn | None = None,
+) -> tuple[list[ScenarioResult], RunReport]:
+    """Like :func:`run_scenario_grid`, but also return run telemetry."""
+    report = run_tasks(
+        scenario_tasks(
+            scenarios,
+            repetitions=repetitions,
+            seed=seed,
+            confidence=confidence,
+            spawn_seeds=spawn_seeds,
+        ),
+        workers=workers,
+        cache=_coerce_cache(cache),
+        policy=policy,
+        progress=progress,
+    )
+    results = [
+        _decode_scenario_result(value)  # type: ignore[arg-type]
+        for value in report.values()
+    ]
+    return results, report
+
+
+# ----------------------------------------------------------------------
+# sim-layer backends (dependency inversion: sim never imports runtime)
+# ----------------------------------------------------------------------
+def sweep_records(
+    scenarios: Sequence[ShuffleScenario],
+    repetitions: int = 5,
+    seed: int = 0,
+    confidence: float = 0.99,
+    *,
+    workers: int = 1,
+    cache_dir: Path | str | None = None,
+    progress: ProgressFn | None = None,
+) -> list[dict[str, object]]:
+    """Backend for :func:`repro.sim.sweep.sweep`: flat records per cell."""
+    results = run_scenario_grid(
+        scenarios,
+        repetitions=repetitions,
+        seed=seed,
+        confidence=confidence,
+        spawn_seeds=True,
+        workers=workers,
+        cache=cache_dir,
+        progress=progress,
+    )
+    return [record_from_result(result) for result in results]
+
+
+def _campaign_batch_backend(
+    configs: Sequence[CampaignConfig],
+    seed: int = 0,
+    planner: str = "greedy",
+    estimator: str = "oracle",
+    *,
+    workers: int = 1,
+    cache_dir: Path | str | None = None,
+    progress: ProgressFn | None = None,
+) -> list[CampaignResult]:
+    """Backend for :func:`repro.sim.campaign.run_campaign_batch`."""
+    return run_campaign_grid(
+        configs,
+        seed=seed,
+        planner=planner,
+        estimator=estimator,
+        workers=workers,
+        cache=cache_dir,
+        progress=progress,
+    )
+
+
+register_backend("sweep", sweep_records)
+register_backend("campaign_batch", _campaign_batch_backend)

@@ -1,0 +1,179 @@
+"""Pure-task model: content fingerprints and deterministic seeds.
+
+The execution runtime treats one grid cell as a :class:`Task` — a pure,
+picklable, module-level function plus JSON-encodable keyword parameters.
+Everything else the runtime offers (parallel fan-out, the on-disk result
+cache, resumable sweeps) follows from two derived quantities:
+
+- the **fingerprint** — a SHA-256 over the canonical encoding of
+  *(function reference, parameters, code version)*.  Two tasks with the
+  same fingerprint are interchangeable: same code, same inputs, same
+  (deterministic) output.  The fingerprint is the cache address and the
+  resume key.
+- the **seed sequence** — a :class:`numpy.random.SeedSequence` spawned
+  from the fingerprint's digest words.  A task that asks for runtime
+  seeding (``seed_param``) receives a generator stream that is a pure
+  function of *what the task is*, never of which worker ran it or when.
+
+The code version defaults to a hash of the task function's module
+source, so editing the simulation code invalidates stale cache entries
+automatically; pass ``code_version`` explicitly to pin or widen that
+behaviour.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import functools
+import hashlib
+import inspect
+import json
+import sys
+from typing import Any, Callable, Mapping
+
+import numpy as np
+
+__all__ = [
+    "Task",
+    "canonical_json",
+    "module_code_version",
+    "seed_sequence_for",
+    "task_fingerprint",
+    "task_seed_sequence",
+]
+
+
+def _jsonable(value: object) -> object:
+    """Recursively coerce ``value`` into canonical JSON-encodable form.
+
+    Tuples become lists (JSON has no tuple), mapping keys must be
+    strings, and anything outside the JSON data model is rejected so a
+    fingerprint can never silently depend on ``repr`` of an arbitrary
+    object.
+    """
+    if value is None or isinstance(value, (str, int, bool, float)):
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(item) for item in value]
+    if isinstance(value, Mapping):
+        encoded = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise TypeError(
+                    f"task parameter keys must be strings, got {key!r}"
+                )
+            encoded[key] = _jsonable(item)
+        return encoded
+    raise TypeError(
+        "task parameters must be JSON-encodable (None, bool, int, float, "
+        f"str, list/tuple, dict), got {type(value).__name__}"
+    )
+
+
+def canonical_json(value: object) -> str:
+    """Stable JSON rendering: sorted keys, no whitespace, tuples=lists."""
+    return json.dumps(
+        _jsonable(value), sort_keys=True, separators=(",", ":")
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class Task:
+    """One pure unit of work.
+
+    Attributes:
+        fn: a **module-level** function (so worker processes can unpickle
+            it) called as ``fn(**params)``.  It must be pure given its
+            parameters and return a JSON-encodable value — the runtime
+            round-trips every result through JSON so fresh and cached
+            values are indistinguishable.
+        params: keyword arguments, JSON-encodable (tuples are canonical-
+            ized to lists before the call).
+        key: human-readable label for progress and telemetry; defaults
+            to the function reference.
+        seed_param: when set, the runtime injects a
+            :class:`numpy.random.SeedSequence` derived from the task
+            fingerprint under this keyword — the task never sees
+            wall-clock entropy.
+        code_version: override for the code-version component of the
+            fingerprint (default: hash of ``fn``'s module source).
+    """
+
+    fn: Callable[..., Any]
+    params: Mapping[str, object] = dataclasses.field(default_factory=dict)
+    key: str | None = None
+    seed_param: str | None = None
+    code_version: str | None = None
+
+    @property
+    def function_ref(self) -> str:
+        """Dotted reference used in fingerprints and telemetry."""
+        return f"{self.fn.__module__}:{self.fn.__qualname__}"
+
+    @property
+    def label(self) -> str:
+        return self.key if self.key is not None else self.function_ref
+
+
+@functools.lru_cache(maxsize=None)
+def module_code_version(module_name: str) -> str:
+    """Short hash of a module's source text (cache-invalidation token).
+
+    Falls back to ``"unversioned"`` when the source is unavailable
+    (frozen interpreter, REPL-defined function) — such tasks still cache,
+    but stale entries must then be invalidated manually.
+    """
+    module = sys.modules.get(module_name)
+    if module is None:
+        return "unversioned"
+    try:
+        source = inspect.getsource(module)
+    except (OSError, TypeError):
+        return "unversioned"
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()[:16]
+
+
+def task_fingerprint(task: Task) -> str:
+    """Content address of a task: SHA-256 hex over its canonical form.
+
+    The digest covers the function reference, the canonicalized
+    parameters, and the code version, so a fingerprint changes — and
+    cached results stop matching — exactly when the answer could change.
+    """
+    version = (
+        task.code_version
+        if task.code_version is not None
+        else module_code_version(task.fn.__module__)
+    )
+    payload = {
+        "function": task.function_ref,
+        "params": dict(task.params),
+        "code_version": version,
+    }
+    return hashlib.sha256(
+        canonical_json(payload).encode("utf-8")
+    ).hexdigest()
+
+
+def entropy_words(fingerprint: str) -> tuple[int, ...]:
+    """The fingerprint digest as 32-bit words (SeedSequence entropy)."""
+    digest = bytes.fromhex(fingerprint)
+    return tuple(
+        int.from_bytes(digest[offset : offset + 4], "big")
+        for offset in range(0, len(digest), 4)
+    )
+
+
+def seed_sequence_for(fingerprint: str) -> np.random.SeedSequence:
+    """Deterministic :class:`~numpy.random.SeedSequence` for a task.
+
+    The sequence is spawned from the fingerprint's digest words, so the
+    stream a task draws depends only on the task's content — never on
+    worker count, scheduling order, or wall-clock time.
+    """
+    return np.random.SeedSequence(entropy_words(fingerprint))
+
+
+def task_seed_sequence(task: Task) -> np.random.SeedSequence:
+    """Shorthand for ``seed_sequence_for(task_fingerprint(task))``."""
+    return seed_sequence_for(task_fingerprint(task))

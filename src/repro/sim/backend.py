@@ -1,0 +1,36 @@
+"""Execution-backend registry: how sim gains parallelism without
+importing the runtime layer.
+
+The layering contract (reprolint P1) points ``runtime`` at ``sim``,
+never the reverse — yet :func:`repro.sim.sweep.sweep` and
+:func:`repro.sim.campaign.run_campaign_batch` offer ``workers=`` fan-out
+that only the runtime can provide.  This module is the seam: the runtime
+registers callables here when it is imported (``import repro`` wires it
+automatically), and the sim entry points look them up by name at call
+time.  When no backend is registered the sim entry points fall back to
+their own serial loops, so ``repro.sim`` remains importable and fully
+functional standalone.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+__all__ = ["available_backends", "get_backend", "register_backend"]
+
+_BACKENDS: dict[str, Callable[..., Any]] = {}
+
+
+def register_backend(name: str, fn: Callable[..., Any]) -> None:
+    """Register (or replace) the execution backend for ``name``."""
+    _BACKENDS[name] = fn
+
+
+def get_backend(name: str) -> Callable[..., Any] | None:
+    """The registered backend for ``name``, or None (serial fallback)."""
+    return _BACKENDS.get(name)
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names, sorted (for diagnostics)."""
+    return tuple(sorted(_BACKENDS))

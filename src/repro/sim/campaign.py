@@ -17,15 +17,17 @@ between waves the defense holds only its baseline replicas.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
+from pathlib import Path
+from typing import Any, Callable, Sequence
 
 import numpy as np
 
 from ..core.shuffler import ShuffleEngine
+from .backend import get_backend
 from .stats import SampleSummary, summarize
 
 __all__ = ["AttackWave", "CampaignConfig", "WaveOutcome", "CampaignResult",
-           "run_campaign"]
+           "run_campaign", "run_campaign_batch"]
 
 
 @dataclass(frozen=True)
@@ -107,7 +109,7 @@ class CampaignResult:
 
 def run_campaign(
     config: CampaignConfig,
-    seed: int = 0,
+    seed: int | np.random.SeedSequence = 0,
     planner: str = "greedy",
     estimator: str = "oracle",
 ) -> CampaignResult:
@@ -116,9 +118,14 @@ def run_campaign(
     The reactive defense pays ``baseline`` replicas for the whole horizon
     plus ``2 * shuffle_replicas`` (pool + in-flight replacements) during
     each mitigation window; the always-on comparison keeps the full
-    mitigation fleet up around the clock.
+    mitigation fleet up around the clock.  ``seed`` may be a ready-made
+    :class:`~numpy.random.SeedSequence` (e.g. a spawned batch child).
     """
-    rng_seq = np.random.SeedSequence(seed)
+    rng_seq = (
+        seed
+        if isinstance(seed, np.random.SeedSequence)
+        else np.random.SeedSequence(seed)
+    )
     outcomes = []
     mitigation_hours_total = 0.0
     for wave, child in zip(config.waves, rng_seq.spawn(len(config.waves))):
@@ -158,3 +165,48 @@ def run_campaign(
         replica_hours_reactive=reactive,
         replica_hours_always_on=always_on,
     )
+
+
+def run_campaign_batch(
+    configs: Sequence[CampaignConfig],
+    seed: int = 0,
+    planner: str = "greedy",
+    estimator: str = "oracle",
+    *,
+    workers: int = 1,
+    cache_dir: Path | str | None = None,
+    progress: Callable[..., Any] | None = None,
+) -> list[CampaignResult]:
+    """Run several campaign configs; one result per config, in order.
+
+    Campaign ``i`` always draws from the stream of
+    ``SeedSequence(seed).spawn(len(configs))[i]``, so results depend
+    only on ``(seed, index, config)`` — never on worker count or
+    completion order.  ``workers`` and ``cache_dir`` route through the
+    :mod:`repro.runtime` backend (wired by ``import repro``), which
+    checkpoints completed campaigns and resumes interrupted batches.
+    """
+    backend = get_backend("campaign_batch")
+    if backend is not None:
+        return list(
+            backend(
+                configs,
+                seed=seed,
+                planner=planner,
+                estimator=estimator,
+                workers=workers,
+                cache_dir=cache_dir,
+                progress=progress,
+            )
+        )
+    if workers != 1 or cache_dir is not None or progress is not None:
+        raise RuntimeError(
+            "parallel/cached campaign batches need the repro.runtime "
+            "backend; `import repro` registers it"
+        )
+    children = np.random.SeedSequence(seed).spawn(len(configs))
+    return [
+        run_campaign(config, seed=child, planner=planner,
+                     estimator=estimator)
+        for config, child in zip(configs, children)
+    ]

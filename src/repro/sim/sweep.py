@@ -11,7 +11,7 @@ pattern for users exploring their own parameter spaces:
         for bots in (20_000, 50_000)
         for p in (500, 1_000)
     ]
-    records = sweep(grid, repetitions=5)
+    records = sweep(grid, repetitions=5, workers=4)
     print(to_csv(records))
 
 Each record is a flat dict (scenario parameters + outcome statistics), so
@@ -21,8 +21,12 @@ the output drops straight into a spreadsheet or pandas.
 from __future__ import annotations
 
 import io
-from typing import Sequence
+from pathlib import Path
+from typing import Any, Callable, Sequence
 
+import numpy as np
+
+from .backend import get_backend
 from .shuffle_sim import ScenarioResult, ShuffleScenario, run_scenario
 
 __all__ = ["sweep", "record_from_result", "to_csv"]
@@ -55,19 +59,63 @@ def sweep(
     repetitions: int = 5,
     seed: int = 0,
     confidence: float = 0.99,
+    *,
+    workers: int = 1,
+    cache_dir: Path | str | None = None,
+    progress: Callable[..., Any] | None = None,
 ) -> list[dict[str, object]]:
     """Run every scenario and return one flat record per scenario.
 
-    Scenarios are seeded independently but deterministically (base seed +
-    index), so the sweep is reproducible and individual cells can be
-    re-run in isolation.
+    Record-level reproducibility contract: cell ``i`` always draws from
+    the stream of ``SeedSequence(seed).spawn(len(scenarios))[i]``
+    (equivalently ``SeedSequence(seed, spawn_key=(i,))``), so
+
+    - records depend only on ``(seed, index, scenario, repetitions,
+      confidence)`` — never on worker count, completion order, or which
+      cells were served from cache;
+    - a cell can be recomputed in isolation by rebuilding that child
+      sequence;
+    - distinct base seeds yield statistically independent grids (the
+      previous ``seed + index`` derivation let ``sweep(grid, seed=0)``
+      cell 1 reuse the stream of ``sweep(grid, seed=1)`` cell 0).
+
+    Args:
+        scenarios: the grid, one record per entry (grid order).
+        repetitions: runs per cell.
+        seed: base seed for the per-cell spawn derivation above.
+        confidence: confidence level for the summary intervals.
+        workers: parallel worker processes (needs :mod:`repro.runtime`,
+            wired automatically by ``import repro``).
+        cache_dir: content-addressed result cache directory; completed
+            cells checkpoint there and interrupted sweeps resume from it.
+        progress: per-cell completion callback, forwarded to
+            :func:`repro.runtime.executor.run_tasks`.
     """
+    backend = get_backend("sweep")
+    if backend is not None:
+        return list(
+            backend(
+                scenarios,
+                repetitions=repetitions,
+                seed=seed,
+                confidence=confidence,
+                workers=workers,
+                cache_dir=cache_dir,
+                progress=progress,
+            )
+        )
+    if workers != 1 or cache_dir is not None or progress is not None:
+        raise RuntimeError(
+            "parallel/cached sweeps need the repro.runtime backend; "
+            "`import repro` registers it"
+        )
+    children = np.random.SeedSequence(seed).spawn(len(scenarios))
     records = []
-    for index, scenario in enumerate(scenarios):
+    for scenario, child in zip(scenarios, children):
         result = run_scenario(
             scenario,
             repetitions=repetitions,
-            seed=seed + index,
+            seed=child,
             confidence=confidence,
         )
         records.append(record_from_result(result))

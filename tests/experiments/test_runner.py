@@ -44,3 +44,23 @@ class TestCli:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["fig99"])
+
+    def test_jobs_flag_gives_identical_output(self, capsys):
+        """--jobs N must not change a single digit of the tables."""
+        assert main(["ablations", "--quick"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["ablations", "--quick", "--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+
+        def strip_timing(text: str) -> str:
+            return "\n".join(
+                line
+                for line in text.splitlines()
+                if "finished in" not in line
+            )
+
+        assert strip_timing(serial) == strip_timing(parallel)
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(SystemExit):
+            main(["fig4", "--jobs", "0"])

@@ -1,0 +1,119 @@
+"""Result cache: atomic writes, content addressing, corruption handling."""
+
+from __future__ import annotations
+
+import json
+
+from repro.runtime import CacheEntry, ResultCache
+
+
+def fp(byte: str) -> str:
+    """A syntactically valid fingerprint (64 hex chars)."""
+    return byte * 64
+
+
+class TestRoundTrip:
+    def test_put_get(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        entry = CacheEntry(
+            fingerprint=fp("a"),
+            value={"mean": 1.5, "runs": [1, 2]},
+            key="cell[0]",
+            function="m:f",
+            wall_time_s=0.25,
+        )
+        cache.put(entry)
+        loaded = cache.get(fp("a"))
+        assert loaded == entry
+        assert cache.hits == 1 and cache.writes == 1
+
+    def test_miss_returns_none(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert cache.get(fp("b")) is None
+        assert cache.misses == 1
+
+    def test_contains_and_len(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert fp("a") not in cache
+        cache.put(CacheEntry(fingerprint=fp("a"), value=1))
+        cache.put(CacheEntry(fingerprint=fp("b"), value=2))
+        assert fp("a") in cache
+        assert len(cache) == 2
+
+    def test_sharded_layout(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(CacheEntry(fingerprint=fp("c"), value=1))
+        assert (tmp_path / "cc" / f"{fp('c')}.json").is_file()
+
+    def test_iter_fingerprints_sorted(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for char in ("d", "b", "a", "c"):
+            cache.put(CacheEntry(fingerprint=fp(char), value=char))
+        assert list(cache.iter_fingerprints()) == sorted(
+            fp(char) for char in "abcd"
+        )
+
+    def test_overwrite_replaces(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(CacheEntry(fingerprint=fp("a"), value=1))
+        cache.put(CacheEntry(fingerprint=fp("a"), value=2))
+        assert cache.get(fp("a")).value == 2
+        assert len(cache) == 1
+
+
+class TestCorruption:
+    def test_torn_file_is_a_miss_and_removed(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(CacheEntry(fingerprint=fp("a"), value=1))
+        path = tmp_path / "aa" / f"{fp('a')}.json"
+        path.write_text('{"fingerprint": "truncat', encoding="utf-8")
+        assert cache.get(fp("a")) is None
+        assert not path.exists()
+
+    def test_fingerprint_mismatch_is_a_miss_and_removed(self, tmp_path):
+        """A moved/renamed entry must never be served under a wrong key."""
+        cache = ResultCache(tmp_path)
+        cache.put(CacheEntry(fingerprint=fp("a"), value=1))
+        src = tmp_path / "aa" / f"{fp('a')}.json"
+        dst = tmp_path / "bb" / f"{fp('b')}.json"
+        dst.parent.mkdir()
+        dst.write_text(src.read_text(encoding="utf-8"), encoding="utf-8")
+        assert cache.get(fp("b")) is None
+        assert not dst.exists()
+        assert cache.get(fp("a")).value == 1
+
+    def test_missing_value_key_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = tmp_path / "aa" / f"{fp('a')}.json"
+        path.parent.mkdir()
+        path.write_text(json.dumps({"fingerprint": fp("a")}))
+        assert cache.get(fp("a")) is None
+
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for char in "abc":
+            cache.put(CacheEntry(fingerprint=fp(char), value=char))
+        leftovers = list(tmp_path.rglob("*.tmp"))
+        assert leftovers == []
+
+
+class TestInvalidation:
+    def test_invalidate_one(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put(CacheEntry(fingerprint=fp("a"), value=1))
+        assert cache.invalidate(fp("a")) is True
+        assert cache.invalidate(fp("a")) is False
+        assert cache.get(fp("a")) is None
+
+    def test_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        for char in "abc":
+            cache.put(CacheEntry(fingerprint=fp(char), value=char))
+        assert cache.clear() == 3
+        assert len(cache) == 0
+
+    def test_empty_root_never_created_by_reads(self, tmp_path):
+        cache = ResultCache(tmp_path / "never")
+        assert cache.get(fp("a")) is None
+        assert list(cache.iter_fingerprints()) == []
+        assert not (tmp_path / "never").exists()

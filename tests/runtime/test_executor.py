@@ -1,0 +1,289 @@
+"""Executor: determinism across worker counts, retries, failure records,
+checkpoints, resume, and telemetry.
+
+Worker functions live at module level so the process pool can pickle
+them by reference.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    GridError,
+    ResultCache,
+    RetryPolicy,
+    Task,
+    run_tasks,
+)
+
+
+def double_cell(x: int) -> int:
+    return 2 * x
+
+
+def draw_cell(x: int, rng_seed: object) -> list[int]:
+    """Draws from the runtime-injected SeedSequence (plus the param)."""
+    rng = np.random.default_rng(rng_seed)
+    return [x, *rng.integers(0, 2**31, size=4).tolist()]
+
+
+def boom_cell(x: int) -> int:
+    raise ValueError(f"boom {x}")
+
+
+def flaky_cell(sentinel: str, x: int) -> int:
+    """Fails until ``sentinel`` exists, creating it on the way down —
+    one failure, then success (both within a run and across runs)."""
+    path = Path(sentinel)
+    if not path.exists():
+        path.write_text("tripped", encoding="utf-8")
+        raise RuntimeError("first attempt always fails")
+    return 10 * x
+
+
+def sleepy_cell(seconds: float) -> str:
+    time.sleep(seconds)
+    return "done"
+
+
+def grid(n: int = 4) -> list[Task]:
+    return [
+        Task(
+            fn=draw_cell,
+            params={"x": index},
+            key=f"cell[{index}]",
+            seed_param="rng_seed",
+            code_version="test-v1",
+        )
+        for index in range(n)
+    ]
+
+
+class TestDeterminism:
+    def test_workers_1_vs_4_byte_identical(self):
+        serial = run_tasks(grid(), workers=1)
+        parallel = run_tasks(grid(), workers=4)
+        assert serial.values() == parallel.values()
+        assert json.dumps(serial.values()) == json.dumps(parallel.values())
+        assert [o.fingerprint for o in serial.outcomes] == [
+            o.fingerprint for o in parallel.outcomes
+        ]
+
+    def test_outcomes_in_task_order(self):
+        report = run_tasks(grid(), workers=4)
+        assert [o.index for o in report.outcomes] == [0, 1, 2, 3]
+        assert [o.key for o in report.outcomes] == [
+            f"cell[{i}]" for i in range(4)
+        ]
+
+    def test_seed_injection_depends_on_params(self):
+        values = run_tasks(grid()).values()
+        draws = [value[1:] for value in values]
+        assert len({tuple(draw) for draw in draws}) == len(draws)
+
+    def test_json_normalization_of_fresh_values(self):
+        report = run_tasks(
+            [Task(fn=double_cell, params={"x": 2}, code_version="v")]
+        )
+        assert report.values() == [4]
+        assert isinstance(report.values()[0], int)
+
+    def test_workers_must_be_positive(self):
+        with pytest.raises(ValueError, match="workers"):
+            run_tasks(grid(), workers=0)
+
+
+class TestCacheIntegration:
+    def test_second_run_is_all_cache_hits(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        first = run_tasks(grid(), cache=cache)
+        second = run_tasks(grid(), cache=ResultCache(tmp_path))
+        assert first.values() == second.values()
+        assert first.cache_hits == 0
+        assert second.cache_hits == 4
+        assert all(o.status == "cached" for o in second.outcomes)
+
+    def test_parallel_run_resumes_from_serial_cache(self, tmp_path):
+        serial = run_tasks(grid(), workers=1, cache=ResultCache(tmp_path))
+        parallel = run_tasks(grid(), workers=4, cache=ResultCache(tmp_path))
+        assert serial.values() == parallel.values()
+        assert parallel.cache_hits == 4
+
+    def test_fingerprint_change_misses(self, tmp_path):
+        run_tasks(grid(), cache=ResultCache(tmp_path))
+        bumped = [
+            Task(
+                fn=task.fn,
+                params=task.params,
+                key=task.key,
+                seed_param=task.seed_param,
+                code_version="test-v2",
+            )
+            for task in grid()
+        ]
+        report = run_tasks(bumped, cache=ResultCache(tmp_path))
+        assert report.cache_hits == 0
+
+    def test_prefix_grid_reuses_cache_of_larger_grid(self, tmp_path):
+        """Content addressing: cells hit regardless of grid shape."""
+        run_tasks(grid(4), cache=ResultCache(tmp_path))
+        report = run_tasks(grid(2), cache=ResultCache(tmp_path))
+        assert report.cache_hits == 2
+
+
+class TestFailures:
+    def failing_grid(self) -> list[Task]:
+        return [
+            Task(fn=double_cell, params={"x": 1}, code_version="f1"),
+            Task(fn=boom_cell, params={"x": 2}, code_version="f1"),
+            Task(fn=double_cell, params={"x": 3}, code_version="f1"),
+        ]
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_failure_is_contained_and_structured(self, workers):
+        report = run_tasks(self.failing_grid(), workers=workers)
+        assert [o.status for o in report.outcomes] == ["ok", "failed", "ok"]
+        failure = report.outcomes[1]
+        assert failure.error.error_type == "ValueError"
+        assert "boom 2" in failure.error.message
+        assert "boom_cell" in failure.error.traceback_text
+        assert failure.attempts == 1
+
+    def test_values_raises_grid_error(self):
+        report = run_tasks(self.failing_grid())
+        with pytest.raises(GridError, match="1 of 3 tasks failed"):
+            report.values()
+        with pytest.raises(GridError, match="resume"):
+            report.raise_for_failures()
+
+    @pytest.mark.parametrize("workers", [1, 2])
+    def test_retry_recovers_flaky_task(self, tmp_path, workers):
+        sentinel = str(tmp_path / f"sentinel-{workers}")
+        tasks = [
+            Task(
+                fn=flaky_cell,
+                params={"sentinel": sentinel, "x": 7},
+                code_version="f1",
+            )
+        ]
+        report = run_tasks(
+            tasks,
+            workers=workers,
+            policy=RetryPolicy(retries=2, backoff_base=0.01),
+        )
+        assert report.values() == [70]
+        assert report.outcomes[0].attempts == 2
+
+    def test_no_retries_by_default(self, tmp_path):
+        sentinel = str(tmp_path / "sentinel")
+        tasks = [
+            Task(
+                fn=flaky_cell,
+                params={"sentinel": sentinel, "x": 7},
+                code_version="f1",
+            )
+        ]
+        report = run_tasks(tasks)
+        assert not report.outcomes[0].ok
+
+    def test_backoff_is_bounded(self):
+        policy = RetryPolicy(retries=8, backoff_base=0.05, backoff_cap=0.2)
+        delays = [policy.backoff(attempt) for attempt in range(1, 9)]
+        assert delays[0] == 0.05
+        assert max(delays) == 0.2
+        assert delays == sorted(delays)
+
+    def test_pool_timeout_produces_failure_record(self):
+        tasks = [
+            Task(fn=sleepy_cell, params={"seconds": 5.0}, code_version="f1"),
+            Task(fn=double_cell, params={"x": 1}, code_version="f1"),
+        ]
+        report = run_tasks(
+            tasks, workers=2, policy=RetryPolicy(timeout=0.3)
+        )
+        assert report.outcomes[0].error.error_type == "TimeoutError"
+        assert "deadline" in report.outcomes[0].error.message
+        assert report.outcomes[1].value == 2
+
+
+class TestResumeAfterFailure:
+    def test_failed_grid_checkpoints_and_second_run_completes(
+        self, tmp_path
+    ):
+        """The ISSUE scenario: a cell raising mid-grid must not cost the
+        completed cells; a rerun finishes from the checkpoint."""
+        sentinel = str(tmp_path / "sentinel")
+        cache_dir = tmp_path / "cache"
+
+        def tasks() -> list[Task]:
+            return [
+                Task(fn=double_cell, params={"x": 1}, code_version="r1"),
+                Task(
+                    fn=flaky_cell,
+                    params={"sentinel": sentinel, "x": 2},
+                    code_version="r1",
+                ),
+                Task(fn=double_cell, params={"x": 3}, code_version="r1"),
+            ]
+
+        first = run_tasks(tasks(), workers=2, cache=ResultCache(cache_dir))
+        assert len(first.failures) == 1
+        with pytest.raises(GridError):
+            first.values()
+
+        # The two completed cells are already on disk.
+        assert len(ResultCache(cache_dir)) == 2
+
+        second = run_tasks(tasks(), workers=2, cache=ResultCache(cache_dir))
+        assert second.values() == [2, 20, 6]
+        assert second.cache_hits == 2
+        assert [o.status for o in second.outcomes] == [
+            "cached",
+            "ok",
+            "cached",
+        ]
+
+
+class TestTelemetry:
+    def test_progress_called_once_per_task(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_tasks(grid(), cache=cache)
+        seen: list[tuple[str, int, int]] = []
+        run_tasks(
+            grid(),
+            cache=ResultCache(tmp_path),
+            progress=lambda o, done, total: seen.append(
+                (o.status, done, total)
+            ),
+        )
+        assert len(seen) == 4
+        assert [done for (_, done, _) in seen] == [1, 2, 3, 4]
+        assert all(total == 4 for (_, _, total) in seen)
+        assert all(status == "cached" for (status, _, _) in seen)
+
+    def test_report_json_schema(self, tmp_path):
+        report = run_tasks(grid(2), workers=2)
+        payload = report.to_json_dict()
+        assert payload["workers"] == 2
+        assert payload["n_tasks"] == 2
+        assert payload["n_failed"] == 0
+        assert payload["task_wall_time_s"] >= 0
+        assert {t["status"] for t in payload["tasks"]} == {"ok"}
+
+        out = tmp_path / "report.json"
+        report.write_json(out)
+        assert json.loads(out.read_text(encoding="utf-8")) == payload
+
+    def test_wall_time_recorded_per_task(self):
+        report = run_tasks(
+            [Task(fn=sleepy_cell, params={"seconds": 0.05},
+                  code_version="t1")]
+        )
+        assert report.outcomes[0].wall_time_s >= 0.04
+        assert report.wall_time_s >= report.outcomes[0].wall_time_s

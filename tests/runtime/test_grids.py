@@ -1,0 +1,182 @@
+"""Grid adapters: scenario/campaign sweeps through the runtime."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    ResultCache,
+    run_campaign_grid,
+    run_scenario_grid,
+    run_scenario_grid_report,
+    scenario_tasks,
+    sweep_records,
+    task_fingerprint,
+)
+from repro.sim import AttackWave, CampaignConfig, ShuffleScenario
+from repro.sim.shuffle_sim import run_scenario
+from repro.sim.sweep import to_csv
+
+
+def tiny_grid() -> list[ShuffleScenario]:
+    return [
+        ShuffleScenario(
+            benign=300, bots=bots, n_replicas=40,
+            target_fraction=0.8, preload_bots=True, max_rounds=400,
+        )
+        for bots in (30, 120)
+    ]
+
+
+class TestScenarioGrid:
+    def test_results_match_direct_run_scenario(self):
+        """spawn_seeds=True reproduces SeedSequence(seed).spawn(n)[i]."""
+        results = run_scenario_grid(tiny_grid(), repetitions=3, seed=5)
+        children = np.random.SeedSequence(5).spawn(2)
+        for scenario, child, result in zip(tiny_grid(), children, results):
+            direct = run_scenario(scenario, repetitions=3, seed=child)
+            assert result.runs == direct.runs
+            assert result.shuffles == direct.shuffles
+            assert result.saved_fraction == direct.saved_fraction
+
+    def test_base_seed_mode_matches_run_scenario(self):
+        """spawn_seeds=False hands every cell SeedSequence(seed) — the
+        figure drivers' historical convention."""
+        results = run_scenario_grid(
+            tiny_grid(), repetitions=3, seed=5, spawn_seeds=False
+        )
+        for scenario, result in zip(tiny_grid(), results):
+            direct = run_scenario(scenario, repetitions=3, seed=5)
+            assert result.runs == direct.runs
+
+    def test_workers_1_vs_4_identical(self):
+        serial = run_scenario_grid(tiny_grid(), repetitions=3, seed=6)
+        parallel = run_scenario_grid(
+            tiny_grid(), repetitions=3, seed=6, workers=4
+        )
+        assert serial == parallel
+
+    def test_cache_round_trip_preserves_values(self, tmp_path):
+        fresh = run_scenario_grid(
+            tiny_grid(), repetitions=2, seed=7, cache=tmp_path
+        )
+        cached = run_scenario_grid(
+            tiny_grid(), repetitions=2, seed=7, cache=tmp_path
+        )
+        assert fresh == cached
+
+    def test_repetitions_change_invalidates(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        run_scenario_grid(tiny_grid(), repetitions=2, seed=7, cache=cache)
+        assert cache.writes == 2
+        run_scenario_grid(tiny_grid(), repetitions=3, seed=7, cache=cache)
+        assert cache.writes == 4  # new fingerprints, recomputed
+
+    def test_report_telemetry(self, tmp_path):
+        results, report = run_scenario_grid_report(
+            tiny_grid(), repetitions=2, seed=8, cache=tmp_path
+        )
+        assert len(results) == 2
+        assert report.cache_misses == 2
+        payload = report.to_json_dict()
+        assert payload["n_tasks"] == 2
+        assert all("scenario[" in t["key"] for t in payload["tasks"])
+
+
+class TestScenarioTasks:
+    def test_fingerprints_are_grid_shape_independent(self):
+        """Cell i's fingerprint depends on its own content only, so a
+        longer grid extends — not invalidates — a cached shorter one."""
+        short = scenario_tasks(tiny_grid()[:1], repetitions=2, seed=3)
+        full = scenario_tasks(tiny_grid(), repetitions=2, seed=3)
+        assert task_fingerprint(short[0]) == task_fingerprint(full[0])
+
+    def test_spawn_mode_changes_fingerprints(self):
+        spawned = scenario_tasks(tiny_grid(), repetitions=2, seed=3)
+        based = scenario_tasks(
+            tiny_grid(), repetitions=2, seed=3, spawn_seeds=False
+        )
+        assert task_fingerprint(spawned[0]) != task_fingerprint(based[0])
+
+    def test_params_are_json_encodable(self):
+        for task in scenario_tasks(tiny_grid(), repetitions=2, seed=3):
+            json.dumps(dict(task.params))
+
+
+class TestSweepRecords:
+    def test_matches_sweep_facade(self):
+        from repro.sim.sweep import sweep
+
+        direct = sweep_records(tiny_grid(), repetitions=3, seed=9)
+        facade = sweep(tiny_grid(), repetitions=3, seed=9)
+        assert direct == facade
+        assert to_csv(direct) == to_csv(facade)
+
+    def test_parallel_csv_byte_identical(self):
+        serial = sweep_records(tiny_grid(), repetitions=3, seed=9)
+        parallel = sweep_records(
+            tiny_grid(), repetitions=3, seed=9, workers=4
+        )
+        assert to_csv(serial) == to_csv(parallel)
+
+
+class TestCampaignGrid:
+    def configs(self) -> list[CampaignConfig]:
+        return [
+            CampaignConfig(
+                waves=(AttackWave(start_hour=1.0, bots=120, benign=300),),
+                shuffle_replicas=40,
+            ),
+            CampaignConfig(
+                waves=(
+                    AttackWave(start_hour=2.0, bots=60, benign=300),
+                    AttackWave(start_hour=8.0, bots=200, benign=300),
+                ),
+                shuffle_replicas=40,
+            ),
+        ]
+
+    def test_workers_1_vs_2_identical(self):
+        serial = run_campaign_grid(self.configs(), seed=4)
+        parallel = run_campaign_grid(self.configs(), seed=4, workers=2)
+        assert serial == parallel
+
+    def test_matches_run_campaign_with_spawned_seed(self):
+        from repro.sim.campaign import run_campaign
+
+        results = run_campaign_grid(self.configs(), seed=4)
+        children = np.random.SeedSequence(4).spawn(2)
+        for config, child, result in zip(
+            self.configs(), children, results
+        ):
+            direct = run_campaign(config, seed=child)
+            assert result == direct
+
+    def test_cache_round_trip(self, tmp_path):
+        fresh = run_campaign_grid(self.configs(), seed=4, cache=tmp_path)
+        cached = run_campaign_grid(self.configs(), seed=4, cache=tmp_path)
+        assert fresh == cached
+
+    def test_decoded_results_have_behavioural_properties(self):
+        result = run_campaign_grid(self.configs(), seed=4)[0]
+        assert result.total_shuffles > 0
+        assert 0.0 <= result.reactive_saving <= 1.0
+        summary = result.summarize_saved()
+        assert summary.n == len(result.outcomes)
+
+
+class TestErrorPropagation:
+    def test_bad_scenario_surfaces_as_grid_error(self):
+        from repro.runtime import GridError
+
+        bad = [
+            ShuffleScenario(
+                benign=300, bots=30, n_replicas=40, planner="no-such",
+                preload_bots=True,
+            )
+        ]
+        with pytest.raises(GridError):
+            run_scenario_grid(bad, repetitions=2, seed=1)

@@ -1,0 +1,136 @@
+"""Task model: canonical encoding, fingerprints, seed derivation."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.runtime.task import (
+    Task,
+    canonical_json,
+    entropy_words,
+    module_code_version,
+    seed_sequence_for,
+    task_fingerprint,
+    task_seed_sequence,
+)
+
+
+def cell(x: int, y: int = 0) -> int:
+    return x + y
+
+
+def other_cell(x: int, y: int = 0) -> int:
+    return x * y
+
+
+class TestCanonicalJson:
+    def test_key_order_is_irrelevant(self):
+        assert canonical_json({"a": 1, "b": 2}) == canonical_json(
+            {"b": 2, "a": 1}
+        )
+
+    def test_tuples_and_lists_canonicalize_identically(self):
+        assert canonical_json({"v": (1, 2)}) == canonical_json({"v": [1, 2]})
+
+    def test_nested_structures(self):
+        text = canonical_json({"grid": [{"p": (1, 2)}, None, True, 0.5]})
+        assert json.loads(text) == {"grid": [{"p": [1, 2]}, None, True, 0.5]}
+
+    def test_rejects_non_json_values(self):
+        with pytest.raises(TypeError, match="JSON-encodable"):
+            canonical_json({"v": object()})
+        with pytest.raises(TypeError, match="JSON-encodable"):
+            canonical_json({"v": {1, 2}})
+
+    def test_rejects_non_string_keys(self):
+        with pytest.raises(TypeError, match="keys must be strings"):
+            canonical_json({"v": {1: "a"}})
+
+
+class TestFingerprint:
+    def test_stable_across_param_order(self):
+        a = Task(fn=cell, params={"x": 1, "y": 2})
+        b = Task(fn=cell, params={"y": 2, "x": 1})
+        assert task_fingerprint(a) == task_fingerprint(b)
+
+    def test_params_change_fingerprint(self):
+        a = Task(fn=cell, params={"x": 1})
+        b = Task(fn=cell, params={"x": 2})
+        assert task_fingerprint(a) != task_fingerprint(b)
+
+    def test_function_identity_matters(self):
+        a = Task(fn=cell, params={"x": 1})
+        b = Task(fn=other_cell, params={"x": 1})
+        assert task_fingerprint(a) != task_fingerprint(b)
+
+    def test_code_version_invalidates(self):
+        a = Task(fn=cell, params={"x": 1}, code_version="v1")
+        b = Task(fn=cell, params={"x": 1}, code_version="v2")
+        assert task_fingerprint(a) != task_fingerprint(b)
+
+    def test_key_does_not_affect_fingerprint(self):
+        """The label is presentation, not content."""
+        a = Task(fn=cell, params={"x": 1}, key="left")
+        b = Task(fn=cell, params={"x": 1}, key="right")
+        assert task_fingerprint(a) == task_fingerprint(b)
+
+    def test_is_hex_sha256(self):
+        fingerprint = task_fingerprint(Task(fn=cell))
+        assert len(fingerprint) == 64
+        int(fingerprint, 16)
+
+    def test_label_falls_back_to_function_ref(self):
+        task = Task(fn=cell)
+        assert task.label == task.function_ref
+        assert task.function_ref.endswith(":cell")
+        assert Task(fn=cell, key="named").label == "named"
+
+
+class TestCodeVersion:
+    def test_this_module_is_versioned(self):
+        version = module_code_version(__name__)
+        assert version != "unversioned"
+        assert len(version) == 16
+
+    def test_unknown_module_is_unversioned(self):
+        assert module_code_version("no.such.module") == "unversioned"
+
+    def test_default_version_comes_from_fn_module(self):
+        explicit = Task(
+            fn=cell,
+            params={"x": 1},
+            code_version=module_code_version(__name__),
+        )
+        implicit = Task(fn=cell, params={"x": 1})
+        assert task_fingerprint(explicit) == task_fingerprint(implicit)
+
+
+class TestSeedDerivation:
+    def test_seed_is_pure_function_of_fingerprint(self):
+        task = Task(fn=cell, params={"x": 3}, seed_param="rng_seed")
+        first = task_seed_sequence(task)
+        second = seed_sequence_for(task_fingerprint(task))
+        assert (
+            np.random.default_rng(first).integers(0, 2**31, 8).tolist()
+            == np.random.default_rng(second).integers(0, 2**31, 8).tolist()
+        )
+
+    def test_different_tasks_get_independent_streams(self):
+        a = task_seed_sequence(Task(fn=cell, params={"x": 1}))
+        b = task_seed_sequence(Task(fn=cell, params={"x": 2}))
+        draws_a = np.random.default_rng(a).integers(0, 2**31, 8)
+        draws_b = np.random.default_rng(b).integers(0, 2**31, 8)
+        assert draws_a.tolist() != draws_b.tolist()
+
+    def test_entropy_words_cover_the_digest(self):
+        fingerprint = task_fingerprint(Task(fn=cell))
+        words = entropy_words(fingerprint)
+        assert len(words) == 8
+        assert all(0 <= word < 2**32 for word in words)
+        rebuilt = "".join(
+            word.to_bytes(4, "big").hex() for word in words
+        )
+        assert rebuilt == fingerprint

@@ -42,6 +42,38 @@ class TestSweep:
     def test_empty_grid(self):
         assert sweep([], repetitions=2) == []
 
+    def test_adjacent_base_seeds_do_not_overlap(self):
+        """Regression: the old `seed + index` derivation made
+        sweep(seed=0) cell 1 reuse the stream of sweep(seed=1) cell 0.
+        Spawned children keep whole grids independent."""
+        same_scenario_twice = [tiny_grid()[0], tiny_grid()[0]]
+        grid_seed0 = sweep(same_scenario_twice, repetitions=3, seed=0)
+        grid_seed1 = sweep(same_scenario_twice, repetitions=3, seed=1)
+        assert grid_seed0[1] != grid_seed1[0]
+
+    def test_workers_produce_identical_records(self):
+        serial = sweep(tiny_grid(), repetitions=3, seed=6)
+        parallel = sweep(tiny_grid(), repetitions=3, seed=6, workers=4)
+        assert serial == parallel
+        assert to_csv(serial) == to_csv(parallel)
+
+    def test_cache_dir_resumes(self, tmp_path):
+        first = sweep(tiny_grid(), repetitions=2, seed=7,
+                      cache_dir=tmp_path)
+        second = sweep(tiny_grid(), repetitions=2, seed=7,
+                       cache_dir=tmp_path)
+        assert first == second
+
+    def test_progress_callback_sees_every_cell(self):
+        seen = []
+        sweep(
+            tiny_grid(), repetitions=2, seed=8,
+            progress=lambda outcome, done, total: seen.append(
+                (done, total)
+            ),
+        )
+        assert seen == [(1, 2), (2, 2)]
+
 
 class TestCsv:
     def test_round_trip(self):
