@@ -1,0 +1,108 @@
+"""Live-service benchmark — the paper's loop over real sockets.
+
+Runs the acceptance-scale attack scenario (200 benign clients + 20
+persistent insider bots on a 10-replica pool; trimmed when quick)
+against the live :mod:`repro.service` defense, asserts the qualitative
+paper claims — quarantine within the oracle-derived shuffle budget,
+benign clients restored onto bot-free replicas — and writes
+machine-readable throughput/convergence numbers to
+``BENCH_service.json`` (override with ``BENCH_SERVICE_JSON``) for CI
+artifact upload.
+
+Wall-clock throughput is *reported*, not asserted: it depends on the
+host's scheduler and core count, while the convergence contract must
+hold everywhere.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from benchmarks.conftest import full_fidelity
+from repro.service import (
+    LoadConfig,
+    ServiceConfig,
+    run_scenario_sync,
+    shuffle_budget,
+)
+
+
+def scenario_configs() -> tuple[ServiceConfig, LoadConfig]:
+    if full_fidelity():
+        n_benign, n_bots, n_replicas = 400, 40, 10
+    else:
+        n_benign, n_bots, n_replicas = 200, 20, 10
+    return (
+        ServiceConfig(n_replicas=n_replicas, seed=7, telemetry_port=None),
+        LoadConfig(n_benign=n_benign, n_bots=n_bots, seed=11),
+    )
+
+
+def test_service_throughput(benchmark, show):
+    service_config, load_config = scenario_configs()
+    budget = shuffle_budget(
+        load_config.n_benign, load_config.n_bots,
+        service_config.n_replicas,
+    )
+
+    report = benchmark.pedantic(
+        run_scenario_sync,
+        args=(service_config, load_config),
+        kwargs={"duration": 120.0, "target_fraction": 0.95},
+        rounds=1,
+        iterations=1,
+    )
+
+    # The paper's qualitative claims, asserted live.
+    assert report.quarantined
+    assert not report.budget_exhausted
+    assert report.shuffles_completed <= budget
+    assert report.benign_clean_fraction >= 0.95
+
+    benign_total = sum(w.benign_sent for w in report.windows)
+    benign_ok = sum(w.benign_ok for w in report.windows)
+    rps = benign_total / report.duration if report.duration > 0 else 0.0
+    payload = {
+        "n_benign": load_config.n_benign,
+        "n_bots": load_config.n_bots,
+        "n_replicas": service_config.n_replicas,
+        "full_fidelity": full_fidelity(),
+        "host_cpu_count": os.cpu_count(),
+        "budget": budget,
+        "shuffles_completed": report.shuffles_completed,
+        "quarantined": report.quarantined,
+        "benign_clean_fraction": round(report.benign_clean_fraction, 4),
+        "duration_s": round(report.duration, 2),
+        "benign_requests": benign_total,
+        "benign_ok": benign_ok,
+        "benign_rps": round(rps, 1),
+        "bot_served": report.bot_served,
+        "bot_throttled": report.bot_throttled,
+        "believed_bots": report.snapshot["believed_bots"],
+    }
+    out_path = os.environ.get("BENCH_SERVICE_JSON", "BENCH_service.json")
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    show(
+        "Live service — {benign} benign + {bots} bots on {p} replicas\n"
+        "  quarantined in {shuffles} shuffles (budget {budget}), "
+        "clean fraction {clean:.3f}\n"
+        "  {reqs} benign requests over {dur:.1f}s (~{rps:.0f} req/s), "
+        "bots throttled {throttled}x\n"
+        "  written: {path}".format(
+            benign=load_config.n_benign,
+            bots=load_config.n_bots,
+            p=service_config.n_replicas,
+            shuffles=report.shuffles_completed,
+            budget=budget,
+            clean=report.benign_clean_fraction,
+            reqs=benign_total,
+            dur=report.duration,
+            rps=rps,
+            throttled=report.bot_throttled,
+            path=out_path,
+        )
+    )

@@ -16,6 +16,10 @@ defense end to end:
   of Section VI-B.
 - ``repro.analysis`` — closed-form results (Theorem 1) and paper reference
   series used for shape comparison.
+- ``repro.service`` — the live online defense: asyncio TCP replica
+  backends, the shuffling coordinator, and a load-generation harness
+  running the control loop over real localhost sockets
+  (``repro-serve scenario``).
 - ``repro.experiments`` — one driver per paper table/figure
   (``python -m repro.experiments <fig3|fig4|...|fig12|headline>``).
 

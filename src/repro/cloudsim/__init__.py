@@ -30,7 +30,7 @@ from .dns import DnsServer
 from .engine import Event, SimulationError, Simulator
 from .faults import ChaosMonkey
 from .loadbalancer import DomainDirectory, LoadBalancer
-from .metrics import MetricsCollector, WindowSample
+from .metrics import MetricsCollector, QoSWindow, WindowSample
 from .migration import (
     MigrationModel,
     MigrationSample,
@@ -65,6 +65,7 @@ __all__ = [
     "OnOffBot",
     "PAGE_BYTES",
     "PersistentBot",
+    "QoSWindow",
     "ReconnaissanceScanner",
     "ReplicaServer",
     "ReplicaState",

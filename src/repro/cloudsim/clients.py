@@ -152,8 +152,14 @@ class BenignClient:
         self, replica, served: bool, service_time: float, send_time: float
     ) -> None:
         if not served:
+            # Failed-but-completed: the request still crossed the
+            # network and reached the replica before being rejected or
+            # dropped, so it carries a real measured duration — which
+            # must stay in the latency series (repro.sim.qos contract).
             self.stats.requests_failed += 1
-            self.ctx.metrics.record_request(self, ok=False, latency=None)
+            self.ctx.metrics.record_request(
+                self, ok=False, latency=self.ctx.now - send_time
+            )
             return
         back = self.ctx.latency.one_way(
             replica.endpoint, self.endpoint, self.ctx.rng

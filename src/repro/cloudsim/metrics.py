@@ -4,42 +4,28 @@ The paper's success criterion is "restoring quality of service for
 benign-but-affected clients": we track per-kind request outcomes over time
 so experiments can show benign success rates collapsing when the attack
 lands and recovering as shuffles quarantine the bots.
+
+The per-window record is the shared :class:`~repro.sim.qos.QoSWindow`
+schema (``WindowSample`` is the historical alias), which the live
+service's telemetry emits too — one comparison format for simulated and
+live runs.  Failed-but-completed requests keep their measured latency in
+the window mean (see :mod:`repro.sim.qos` for the accounting contract).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import TYPE_CHECKING
+
+from ..sim.qos import QoSWindow
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from .system import CloudContext
 
-__all__ = ["WindowSample", "MetricsCollector"]
+__all__ = ["QoSWindow", "WindowSample", "MetricsCollector"]
 
-
-@dataclass(frozen=True)
-class WindowSample:
-    """Aggregated benign QoS over one sampling window."""
-
-    time: float
-    benign_sent: int
-    benign_ok: int
-    benign_latency_sum: float
-    attacked_replicas: int
-    active_replicas: int
-    shuffles_completed: int
-
-    @property
-    def success_ratio(self) -> float:
-        if self.benign_sent == 0:
-            return 1.0
-        return self.benign_ok / self.benign_sent
-
-    @property
-    def mean_latency(self) -> float:
-        if self.benign_ok == 0:
-            return 0.0
-        return self.benign_latency_sum / self.benign_ok
+#: Historical name of the window record, kept as a true alias so
+#: ``isinstance`` checks and pickling agree across both spellings.
+WindowSample = QoSWindow
 
 
 class MetricsCollector:
@@ -48,10 +34,11 @@ class MetricsCollector:
     def __init__(self, ctx: "CloudContext", interval: float = 1.0) -> None:
         self.ctx = ctx
         self.interval = interval
-        self.samples: list[WindowSample] = []
+        self.samples: list[QoSWindow] = []
         self._window_sent = 0
         self._window_ok = 0
         self._window_latency = 0.0
+        self._window_latency_count = 0
         self._running = False
         # lifetime totals per client kind
         self.totals: dict[str, dict[str, float]] = {}
@@ -66,7 +53,14 @@ class MetricsCollector:
         self._running = False
 
     def record_request(self, client, ok: bool, latency: float | None) -> None:
-        """Record one completed (or failed) request outcome."""
+        """Record one completed (or failed) request outcome.
+
+        ``latency`` is the measured request duration when one exists —
+        for successes *and* for failures that completed (throttled,
+        dropped at the replica).  ``None`` means the request never
+        produced an observable completion, so it contributes to the
+        success ratio but not to the latency mean.
+        """
         kind = getattr(client, "kind", "benign")
         totals = self.totals.setdefault(
             kind, {"sent": 0.0, "ok": 0.0, "latency": 0.0}
@@ -74,12 +68,15 @@ class MetricsCollector:
         totals["sent"] += 1
         if ok:
             totals["ok"] += 1
-            totals["latency"] += latency or 0.0
+        if latency is not None:
+            totals["latency"] += latency
         if kind == "benign":
             self._window_sent += 1
             if ok:
                 self._window_ok += 1
-                self._window_latency += latency or 0.0
+            if latency is not None:
+                self._window_latency += latency
+                self._window_latency_count += 1
 
     def _snapshot(self) -> None:
         if not self._running:
@@ -88,11 +85,12 @@ class MetricsCollector:
             1 for r in self.ctx.active_replicas() if r.overloaded()
         )
         self.samples.append(
-            WindowSample(
+            QoSWindow(
                 time=self.ctx.now,
                 benign_sent=self._window_sent,
                 benign_ok=self._window_ok,
-                benign_latency_sum=self._window_latency,
+                latency_sum=self._window_latency,
+                latency_count=self._window_latency_count,
                 attacked_replicas=attacked,
                 active_replicas=len(self.ctx.active_replicas()),
                 shuffles_completed=self.ctx.coordinator.shuffle_count,
@@ -101,6 +99,7 @@ class MetricsCollector:
         self._window_sent = 0
         self._window_ok = 0
         self._window_latency = 0.0
+        self._window_latency_count = 0
         self.ctx.sim.schedule(self.interval, self._snapshot, label="metrics")
 
     # ------------------------------------------------------------------

@@ -17,6 +17,10 @@ part of the reproducibility contract.
 **P4** — the simulator's only clock is ``Simulator.now``.  A wall-clock
 read (``time.time``, ``datetime.now``, ...) inside ``sim``/``cloudsim``
 couples results to the host machine; ``time.sleep`` stalls the DES.
+Both passes scope to ``_SIM_LAYERS`` and deliberately exclude the
+``service`` layer: there wall-clock time *is* the clock (real sockets,
+real token-refill intervals), so ``time.monotonic`` is its legitimate
+time source — only its RNG discipline is checked, by P2.
 """
 
 from __future__ import annotations
@@ -31,6 +35,9 @@ from .context import ModuleInfo, ProgramContext
 
 __all__ = ["event_affecting_functions"]
 
+#: layers the determinism passes govern.  ``service`` is intentionally
+#: absent: it is the live socket layer where wall-clock time is the
+#: real clock, so P4's wall-clock ban does not apply to it.
 _SIM_LAYERS = frozenset({"sim", "cloudsim"})
 
 #: attribute names that put a callback on the DES event queue or a heap.

@@ -6,6 +6,10 @@ math and may depend on nothing but the numeric stack; ``sim`` and
 and ``sim``; ``runtime`` (parallel grid execution) orchestrates ``core``,
 ``sim``, and ``cloudsim`` but is never imported by them — the sim layer
 reaches it only through the :mod:`repro.sim.backend` registry;
+``service`` (the live socket-level defense) builds on ``core`` for
+planning/estimation, ``sim`` for the shared QoS schema, and
+``analysis`` for convergence oracles, but never on the simulators —
+live and simulated runs must stay independently runnable;
 ``experiments`` is the CLI surface and may use anything; ``devtools``
 analyzes the tree and must import none of it (so linting can never
 execute library side effects).
@@ -37,8 +41,10 @@ LAYER_CONTRACT: dict[str, frozenset[str]] = {
     "analysis": frozenset({"core"}),
     "cloudsim": frozenset({"core", "sim"}),
     "runtime": frozenset({"core", "sim", "cloudsim"}),
+    "service": frozenset({"core", "sim", "analysis"}),
     "experiments": frozenset(
-        {"core", "sim", "analysis", "cloudsim", "runtime", "devtools"}
+        {"core", "sim", "analysis", "cloudsim", "runtime", "service",
+         "devtools"}
     ),
     "devtools": frozenset(),
 }

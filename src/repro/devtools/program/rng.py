@@ -16,9 +16,11 @@ This pass tracks ``numpy.random.Generator`` construction sites through
 the approximate call graph: each function gets a summary (does it
 unconditionally construct an unseeded generator? does it *forward* a
 seed parameter into a construction?), summaries propagate caller-ward to
-a fixpoint, and any unseeded construction path whose entry sits in the
-simulator layers (``sim``/``cloudsim``) is reported with the call chain
-that reaches the construction.
+a fixpoint, and any unseeded construction path whose entry sits in a
+reproducibility-critical layer (``sim``/``cloudsim``, plus ``service``
+— the live defense promises seed-for-seed reproducible shuffle
+sequences even though wall-clock time drives its scheduling) is
+reported with the call chain that reaches the construction.
 """
 
 from __future__ import annotations
@@ -35,7 +37,10 @@ from .context import ModuleInfo, ProgramContext
 __all__ = ["analyze_rng", "RngFinding"]
 
 #: layers whose stochastic paths must stay bit-for-bit reproducible.
-_REPORT_LAYERS = frozenset({"sim", "cloudsim"})
+#: ``service`` is stochastic-deterministic: its *timing* is wall-clock
+#: but its *decisions* (shuffle permutations, client jitter) must come
+#: from seeded generators.
+_REPORT_LAYERS = frozenset({"sim", "cloudsim", "service"})
 _NUMPY_HEADS = frozenset({"np", "numpy"})
 
 

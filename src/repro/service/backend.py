@@ -1,0 +1,229 @@
+"""Replica backends: lightweight asyncio TCP application servers.
+
+Each :class:`ReplicaBackend` is the live analogue of
+:class:`repro.cloudsim.replica.ReplicaServer`: bound to its own unique
+``(host, port)`` address, enforcing whitelist admission ("only admitting
+clients whose IPs are confirmed by the referring load balancer" — here,
+client IDs confirmed by the coordinator), and owning one finite
+resource, a token bucket standing in for the replica's service
+capacity.  A drained bucket throttles requests, and a sustained
+throttle ratio raises the ``attacked`` signal the coordinator's
+detection sweep polls — saturation *is* the observable, exactly as in
+the paper's load-based detection.
+
+Wire protocol (UTF-8 lines)::
+
+    C -> R:  REQ <client_id> <seq>
+    R -> C:  OK <seq> <replica_id>     served (echo identifies routing)
+             THROTTLED <seq>           bucket drained (overload)
+             DENY <seq>                client not whitelisted
+             MOVED <seq>               replica quiescing/retired
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from typing import Callable
+
+from .config import ServiceConfig
+from .tokens import SaturationMonitor, TokenBucket
+
+__all__ = ["BackendStats", "ReplicaBackend"]
+
+
+class BackendStats:
+    """Lifetime counters for one replica backend."""
+
+    __slots__ = ("served", "throttled", "denied", "moved")
+
+    def __init__(self) -> None:
+        self.served = 0
+        self.throttled = 0
+        self.denied = 0
+        self.moved = 0
+
+    def to_dict(self) -> dict[str, int]:
+        return {
+            "served": self.served,
+            "throttled": self.throttled,
+            "denied": self.denied,
+            "moved": self.moved,
+        }
+
+
+class ReplicaBackend:
+    """One live replica server at a unique localhost port.
+
+    Args:
+        config: shared service tunables (bucket sizing, saturation
+            thresholds).
+        replica_id: stable identifier (``r-<n>``), echoed in responses
+            so clients and tests can observe routing.
+        clock: monotonic time source, injectable for tests.
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig,
+        replica_id: str,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.config = config
+        self.replica_id = replica_id
+        self.bucket = TokenBucket(
+            rate=config.bucket_rate, burst=config.bucket_burst, clock=clock
+        )
+        self.monitor = SaturationMonitor(
+            window=config.saturation_window,
+            overload_ratio=config.overload_ratio,
+            min_events=config.min_window_events,
+            clock=clock,
+        )
+        self.whitelist: set[str] = set()
+        self.stats = BackendStats()
+        self.quiescing = False
+        self._server: asyncio.base_events.Server | None = None
+        self._connections: set[asyncio.StreamWriter] = set()
+        self._handlers: set[asyncio.Task] = set()
+        self.host = config.host
+        self.port: int | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self, port: int = 0) -> None:
+        """Bind and serve at a fresh port (0 = OS-assigned)."""
+        if self._server is not None:
+            raise RuntimeError(f"{self.replica_id} already started")
+        self._server = await asyncio.start_server(
+            self._handle, self.host, port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        """Retire the backend: the port stops accepting connections.
+
+        The live analogue of null-routing a retired replica's address —
+        a bot still flooding it is wasting its effort on a dead socket.
+        """
+        self.quiescing = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        # Established connections outlive Server.close(); drop them so
+        # clients see EOF now instead of a half-dead socket, and wait
+        # for the handlers to unwind before declaring the port dark.
+        for writer in list(self._connections):
+            writer.close()
+        self._connections.clear()
+        if self._handlers:
+            await asyncio.gather(
+                *list(self._handlers), return_exceptions=True
+            )
+            self._handlers.clear()
+
+    @property
+    def is_active(self) -> bool:
+        return self._server is not None and not self.quiescing
+
+    @property
+    def address(self) -> tuple[str, int]:
+        if self.port is None:
+            raise RuntimeError(f"{self.replica_id} not started")
+        return (self.host, self.port)
+
+    # ------------------------------------------------------------------
+    # admission control (driven by the coordinator)
+    # ------------------------------------------------------------------
+    def admit(self, client_id: str) -> None:
+        """Whitelist a client the coordinator assigned here."""
+        self.whitelist.add(client_id)
+
+    def evict(self, client_id: str) -> None:
+        self.whitelist.discard(client_id)
+
+    def quiesce(self) -> None:
+        """Stop serving ahead of retirement: every request gets MOVED,
+        pushing stragglers back to the assignment proxy."""
+        self.quiescing = True
+
+    @property
+    def n_clients(self) -> int:
+        return len(self.whitelist)
+
+    # ------------------------------------------------------------------
+    # attack signal
+    # ------------------------------------------------------------------
+    def attacked(self) -> bool:
+        """True when the throttle ratio shows sustained saturation."""
+        return self.monitor.saturated()
+
+    # ------------------------------------------------------------------
+    # request handling
+    # ------------------------------------------------------------------
+    def _respond(self, parts: list[str]) -> str:
+        if len(parts) != 3 or parts[0] != "REQ":
+            return "ERR malformed"
+        _, client_id, seq = parts
+        if self.quiescing:
+            self.stats.moved += 1
+            return f"MOVED {seq}"
+        if client_id not in self.whitelist:
+            self.stats.denied += 1
+            return f"DENY {seq}"
+        if self.bucket.try_acquire():
+            self.monitor.record(admitted=True)
+            self.stats.served += 1
+            return f"OK {seq} {self.replica_id}"
+        self.monitor.record(admitted=False)
+        self.stats.throttled += 1
+        return f"THROTTLED {seq}"
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._handlers.add(task)
+        self._connections.add(writer)
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                reply = self._respond(line.decode("utf-8", "replace").split())
+                writer.write((reply + "\n").encode("utf-8"))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass  # client vanished mid-exchange; nothing to clean up
+        except asyncio.CancelledError:
+            pass  # event loop tearing down: exit quietly
+        finally:
+            self._connections.discard(writer)
+            if task is not None:
+                self._handlers.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (
+                ConnectionResetError,
+                BrokenPipeError,
+                asyncio.CancelledError,
+            ):
+                pass
+
+    def snapshot(self) -> dict[str, object]:
+        """Telemetry row for this backend."""
+        total, throttled = self.monitor.counts()
+        return {
+            "replica_id": self.replica_id,
+            "port": self.port,
+            "active": self.is_active,
+            "attacked": self.attacked(),
+            "n_clients": self.n_clients,
+            "window_events": total,
+            "window_throttled": throttled,
+            "stats": self.stats.to_dict(),
+        }

@@ -1,0 +1,86 @@
+"""Configuration for the live shuffling defense service.
+
+One frozen dataclass carries every tunable of the online control loop,
+mirroring how :class:`repro.cloudsim.system.CloudConfig` configures the
+DES — the two are deliberately parallel so a live run and a simulated
+run can be parameterized from the same story (see
+``docs/live-vs-sim.md``).  Times here are *wall-clock seconds*: unlike
+the simulator layers, the service is the one part of the tree where
+real time is the clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ServiceConfig", "DEFAULT_SEED"]
+
+#: Default seed for every service-side stochastic decision (shuffle
+#: permutations).  Client/bot behaviour seeds live in the load
+#: generator's own config.
+DEFAULT_SEED = 7
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables of the live defense service.
+
+    Attributes:
+        host: interface the replica pool and control server bind to.
+        n_replicas: shuffling replica pool size ``P`` (kept constant:
+            every retired replica is substituted by a fresh one).
+        control_port: TCP port for the assignment proxy (0 = ephemeral).
+        telemetry_port: TCP port for the JSON metrics endpoint
+            (0 = ephemeral; ``None`` disables the endpoint).
+        bucket_rate: per-replica token refill rate (requests/second) —
+            the replica's service capacity.
+        bucket_burst: token-bucket burst capacity (requests).
+        saturation_window: sliding-window length (seconds) over which
+            each replica measures its throttle ratio.
+        overload_ratio: throttled fraction of the window at which a
+            replica reports itself attacked.
+        min_window_events: minimum requests in the window before the
+            saturation signal may fire (keeps idle replicas quiet).
+        detection_interval: coordinator sweep period (seconds) between
+            attacked-replica polls — the paper's detection loop.
+        detection_confirmations: extra sweeps the coordinator keeps
+            accumulating newly saturated replicas before acting.  The
+            monitors cross their thresholds at slightly different
+            moments; shuffling on the first sighting would spend a
+            round on a partial (and estimator-skewing) observation.
+        shuffle_timeout: hard bound (seconds) on one shuffle operation.
+        plan_client_grid: client counts precomputed by the
+            :class:`repro.core.plan_cache.PlanCache` lookup table.
+        plan_bot_grid: bot counts precomputed by the plan cache.
+        seed: RNG seed for the coordinator's shuffle permutations.
+    """
+
+    host: str = "127.0.0.1"
+    n_replicas: int = 10
+    control_port: int = 0
+    telemetry_port: int | None = 0
+    bucket_rate: float = 80.0
+    bucket_burst: float = 40.0
+    saturation_window: float = 0.5
+    overload_ratio: float = 0.3
+    min_window_events: int = 20
+    detection_interval: float = 0.1
+    detection_confirmations: int = 3
+    shuffle_timeout: float = 10.0
+    plan_client_grid: tuple[int, ...] = (25, 50, 100, 200, 400, 800)
+    plan_bot_grid: tuple[int, ...] = (2, 5, 10, 20, 40, 80, 160)
+    seed: int = DEFAULT_SEED
+
+    def __post_init__(self) -> None:
+        if self.n_replicas < 1:
+            raise ValueError("n_replicas must be >= 1")
+        if self.bucket_rate <= 0 or self.bucket_burst <= 0:
+            raise ValueError("token bucket rate and burst must be > 0")
+        if not 0.0 < self.overload_ratio <= 1.0:
+            raise ValueError("overload_ratio must be within (0, 1]")
+        if self.detection_interval <= 0:
+            raise ValueError("detection_interval must be > 0")
+        if self.detection_confirmations < 0:
+            raise ValueError("detection_confirmations must be >= 0")
+        if self.saturation_window <= 0:
+            raise ValueError("saturation_window must be > 0")

@@ -1,0 +1,482 @@
+"""The live coordination server (paper Section III-D, over real sockets).
+
+This is the online counterpart of :class:`repro.cloudsim.coordinator.
+Coordinator`: the same detect → estimate → plan → shuffle → substitute
+loop, but driven by wall-clock saturation signals from real asyncio TCP
+backends instead of simulated load meters.
+
+Control plane (UTF-8 lines on the coordinator's own port — the paper's
+command-and-control channel, assumed unattackable)::
+
+    C -> S:  JOIN <client_id>      authenticate + get an assignment
+             WHERE <client_id>     re-query after MOVED/DENY
+             SNAPSHOT              one-line JSON telemetry dump
+    S -> C:  ASSIGN <client_id> <host>:<port> <replica_id>
+
+Per sweep the coordinator polls the pool for saturated replicas; the
+count ``X`` feeds the attack-scale estimators of
+:mod:`repro.core.estimator`:
+
+- round 1 (near-uniform assignment): exact occupancy MLE;
+- later rounds: the Poisson-binomial :func:`estimate_bots_weighted` on
+  the previous plan's group sizes — after a shuffle every persistent bot
+  lives inside the reshuffled subset, so the subset's plan is the right
+  occupancy model;
+- degenerate observations (every replica attacked — Theorem 1 regime)
+  fall back to the previous believed count, or on round 1 to the
+  Theorem 1 saturation threshold ``P·ln(P)`` — the smallest bot count
+  that *expects* to saturate all replicas, hence the least-biased guess
+  consistent with the observation.
+
+Shuffle plans come from the precomputed :class:`repro.core.plan_cache.
+PlanCache` (greedy fallback when the replacement count differs from the
+cache's ``P``).  The loop stops shuffling when the planner's own
+``E[S]`` drops below one client — no further shuffle is expected to save
+anyone, i.e. the remaining reshuffled population is believed to be all
+bots: quarantine.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..core.estimator import (
+    BotEstimate,
+    estimate_bots_mle,
+    estimate_bots_weighted,
+)
+from ..core.plan import ShufflePlan
+from ..core.plan_cache import PlanCache
+from .backend import ReplicaBackend
+from .config import ServiceConfig
+from .pool import ReplicaPool
+
+__all__ = ["LiveShuffleRecord", "ServiceCoordinator", "theorem1_fallback"]
+
+
+def theorem1_fallback(n_replicas: int) -> int:
+    """Bot-count guess when MLE degenerates with no prior belief.
+
+    ``X = P`` only says ``M`` exceeds the Theorem 1 saturation threshold
+    ``log_{1-1/P}(1/P) ~ P ln P``; the threshold itself is the smallest
+    count consistent with what was seen.
+    """
+    if n_replicas < 2:
+        return 1
+    return math.ceil(
+        math.log(1.0 / n_replicas) / math.log(1.0 - 1.0 / n_replicas)
+    )
+
+
+@dataclass
+class LiveShuffleRecord:
+    """Audit record of one live shuffle operation."""
+
+    started_at: float
+    completed_at: float | None
+    attacked_replicas: tuple[str, ...]
+    n_clients: int
+    n_attacked: int
+    estimated_bots: int
+    estimator: str
+    group_sizes: tuple[int, ...]
+    new_replicas: tuple[str, ...]
+    algorithm: str = ""
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "started_at": self.started_at,
+            "completed_at": self.completed_at,
+            "attacked_replicas": list(self.attacked_replicas),
+            "n_clients": self.n_clients,
+            "n_attacked": self.n_attacked,
+            "estimated_bots": self.estimated_bots,
+            "estimator": self.estimator,
+            "group_sizes": list(self.group_sizes),
+            "new_replicas": list(self.new_replicas),
+            "algorithm": self.algorithm,
+        }
+
+
+@dataclass
+class _LastPlan:
+    plan: ShufflePlan
+    replica_ids: tuple[str, ...] = field(default_factory=tuple)
+
+
+class ServiceCoordinator:
+    """Central controller of the live defense.
+
+    Args:
+        config: service tunables.
+        max_shuffles: hard round cap (see :mod:`repro.service.budget`);
+            ``None`` means uncapped.
+        clock: monotonic time source shared with the pool.
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig,
+        max_shuffles: int | None = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.config = config
+        self.max_shuffles = max_shuffles
+        self._clock = clock
+        self.pool = ReplicaPool(config, clock=clock)
+        self.plan_cache = PlanCache(
+            n_replicas=config.n_replicas,
+            client_grid=config.plan_client_grid,
+            bot_grid=config.plan_bot_grid,
+        )
+        self._rng = np.random.default_rng(config.seed)
+        self.assignments: dict[str, str] = {}
+        self.shuffles: list[LiveShuffleRecord] = []
+        self.believed_bots: int | None = None
+        self.quarantine_replicas: set[str] = set()
+        self.budget_exhausted = False
+        self._calm_sweeps = 0
+        self._pending_attacked: set[str] = set()
+        self._pending_sweeps = 0
+        self._last_plan: _LastPlan | None = None
+        self._shuffle_in_progress = False
+        self._running = False
+        self._detect_task: asyncio.Task | None = None
+        self._control: asyncio.base_events.Server | None = None
+        self.control_port: int | None = None
+        self._started_at: float | None = None
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Boot the pool, precompute plans, open the control channel."""
+        self.plan_cache.precompute()
+        await self.pool.start()
+        self._control = await asyncio.start_server(
+            self._handle_control, self.config.host, self.config.control_port
+        )
+        self.control_port = self._control.sockets[0].getsockname()[1]
+        self._running = True
+        self._started_at = self._clock()
+        self._detect_task = asyncio.create_task(self._detect_loop())
+
+    async def stop(self) -> None:
+        self._running = False
+        if self._detect_task is not None:
+            self._detect_task.cancel()
+            try:
+                await self._detect_task
+            except asyncio.CancelledError:
+                pass
+            self._detect_task = None
+        if self._control is not None:
+            self._control.close()
+            await self._control.wait_closed()
+            self._control = None
+        await self.pool.stop()
+
+    @property
+    def control_address(self) -> tuple[str, int]:
+        if self.control_port is None:
+            raise RuntimeError("coordinator not started")
+        return (self.config.host, self.control_port)
+
+    @property
+    def shuffles_completed(self) -> int:
+        return len(self.shuffles)
+
+    #: Consecutive calm detection sweeps (no actionable attack) before
+    #: a non-empty quarantine counts as converged.
+    CALM_SWEEPS = 10
+
+    #: Quarantine once the planner's Equation 1 expects fewer than this
+    #: many clients saved by another round.  Below 1.0 because an
+    #: expectation of, say, 0.7 is still worth a (cheap) round when the
+    #: sticky bot belief may overcount by one or two stragglers.
+    QUARANTINE_EXPECTED_SAVED = 0.5
+
+    #: Endgame dispersion kicks in only when the subset fits within
+    #: this many times the configured pool size (bounds the transient
+    #: replica fan-out of the singleton round).
+    DISPERSE_MAX_FACTOR = 4
+
+    @property
+    def quarantined(self) -> bool:
+        """True once every attack is pinned inside the quarantine set.
+
+        Requires a calm streak: bots still flood their quarantine
+        replicas, but no replica outside the set has looked attacked
+        for :data:`CALM_SWEEPS` consecutive sweeps.
+        """
+        return (
+            bool(self.quarantine_replicas)
+            and self._calm_sweeps >= self.CALM_SWEEPS
+        )
+
+    # ------------------------------------------------------------------
+    # assignment (control plane)
+    # ------------------------------------------------------------------
+    def assign(self, client_id: str) -> ReplicaBackend:
+        """Bind a client to a replica (least-loaded; sticky thereafter)."""
+        replica_id = self.assignments.get(client_id)
+        if replica_id is not None:
+            backend = self.pool.get(replica_id)
+            if backend is not None and backend.is_active:
+                return backend
+        active = self.pool.active()
+        if not active:
+            raise RuntimeError("no active replicas")
+        backend = min(active, key=lambda b: b.n_clients)
+        backend.admit(client_id)
+        self.assignments[client_id] = backend.replica_id
+        return backend
+
+    async def _handle_control(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    break
+                parts = line.decode("utf-8", "replace").split()
+                if len(parts) == 2 and parts[0] in ("JOIN", "WHERE"):
+                    backend = self.assign(parts[1])
+                    host, port = backend.address
+                    reply = (
+                        f"ASSIGN {parts[1]} {host}:{port} "
+                        f"{backend.replica_id}"
+                    )
+                elif parts == ["SNAPSHOT"]:
+                    reply = json.dumps(self.snapshot())
+                else:
+                    reply = "ERR malformed"
+                writer.write((reply + "\n").encode("utf-8"))
+                await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    # ------------------------------------------------------------------
+    # detection loop
+    # ------------------------------------------------------------------
+    async def _detect_loop(self) -> None:
+        while self._running:
+            await asyncio.sleep(self.config.detection_interval)
+            if self._shuffle_in_progress:
+                continue
+            # Quarantined replicas are expected to stay flooded — only
+            # attacks outside the quarantine set are actionable.
+            attacked_now = {
+                b.replica_id for b in self.pool.attacked()
+                if b.replica_id not in self.quarantine_replicas
+            }
+            if not attacked_now and not self._pending_attacked:
+                self._calm_sweeps += 1
+                continue
+            self._calm_sweeps = 0
+            # Confirmation: saturation monitors cross their thresholds
+            # at slightly different moments; accumulate the attacked
+            # union for a few sweeps so one shuffle (and one estimator
+            # observation X) covers the whole co-saturating set.
+            self._pending_attacked |= attacked_now
+            self._pending_sweeps += 1
+            if self._pending_sweeps <= self.config.detection_confirmations:
+                continue
+            targets = [
+                backend
+                for replica_id in sorted(self._pending_attacked)
+                if (backend := self.pool.get(replica_id)) is not None
+                and backend.is_active
+            ]
+            self._pending_attacked.clear()
+            self._pending_sweeps = 0
+            if not targets:
+                continue
+            if (
+                self.max_shuffles is not None
+                and self.shuffles_completed >= self.max_shuffles
+            ):
+                self.budget_exhausted = True
+                continue
+            await self._shuffle(targets)
+
+    # ------------------------------------------------------------------
+    # estimation
+    # ------------------------------------------------------------------
+    def _estimate(
+        self, attacked_ids: tuple[str, ...], n_clients: int
+    ) -> tuple[int, str]:
+        """Believed bot count from the observed attack pattern."""
+        n_attacked = len(attacked_ids)
+        last = self._last_plan
+        if last is not None and set(attacked_ids) <= set(last.replica_ids):
+            # Every bot rode the previous shuffle, so the previous plan's
+            # sizes are the occupancy model for this observation.
+            estimate = estimate_bots_weighted(
+                n_attacked=n_attacked,
+                sizes=last.plan.group_sizes,
+                n_clients=last.plan.n_clients,
+            )
+            name = "weighted"
+        else:
+            estimate = estimate_bots_mle(
+                n_attacked=n_attacked,
+                n_replicas=max(self.pool.n_active, 1),
+                upper_bound=max(n_clients, n_attacked),
+            )
+            name = "mle"
+        m_hat = self._resolve(estimate)
+        # Belief persistence: persistent bots never leave the
+        # reshuffled subset, so the true M is constant while per-round
+        # observations only ever *miss* bots (a bot mid-reconnect is
+        # invisible to this sweep).  Keeping the running maximum makes
+        # the endgame terminate: once the subset shrinks to the
+        # believed count, Equation 1 yields E[S] ~ 0 and the
+        # coordinator quarantines instead of shuffling bots forever.
+        if self.believed_bots is not None:
+            m_hat = max(m_hat, self.believed_bots)
+        self.believed_bots = m_hat
+        believed = max(1, min(m_hat, n_clients)) if n_clients else 0
+        return believed, name
+
+    def _resolve(self, estimate: BotEstimate) -> int:
+        if not estimate.degenerate:
+            return estimate.m_hat
+        if self.believed_bots is not None:
+            return self.believed_bots
+        return theorem1_fallback(max(self.pool.n_active, 1))
+
+    # ------------------------------------------------------------------
+    # shuffle operation
+    # ------------------------------------------------------------------
+    async def _shuffle(self, attacked: list[ReplicaBackend]) -> None:
+        self._shuffle_in_progress = True
+        try:
+            started = self._clock()
+            attacked_ids = tuple(b.replica_id for b in attacked)
+            # Canonical client order before the permutation below: the
+            # shuffle must not depend on whitelist-set iteration history.
+            clients = sorted(
+                cid for b in attacked for cid in b.whitelist
+            )
+            n_clients = len(clients)
+            believed, estimator = self._estimate(attacked_ids, n_clients)
+
+            if n_clients == 0:
+                # Flooded but empty replicas: substitute, nothing to plan.
+                replacements = await self.pool.substitute(list(attacked_ids))
+                self.shuffles.append(LiveShuffleRecord(
+                    started_at=started, completed_at=self._clock(),
+                    attacked_replicas=attacked_ids, n_clients=0,
+                    n_attacked=len(attacked_ids), estimated_bots=believed,
+                    estimator=estimator, group_sizes=(),
+                    new_replicas=tuple(
+                        b.replica_id for b in replacements
+                    ),
+                ))
+                return
+
+            # Plan across the full shuffle width, not just the attacked
+            # count: with one attacked replica and one replacement there
+            # is nowhere to separate bots from benign.  Replicas whose
+            # planned group is empty are never booted, and only the
+            # attacked instances retire, so the pool grows elastically
+            # during an attack (clean replicas accumulate saved clients)
+            # — the paper's scale-out-under-attack behaviour.
+            width = min(self.config.n_replicas, n_clients)
+            if (
+                2 * believed >= n_clients
+                and 2 <= n_clients
+                <= self.DISPERSE_MAX_FACTOR * self.config.n_replicas
+            ):
+                # Endgame dispersion: the subset is small and believed
+                # mostly bots — give every remaining client a replica
+                # of their own.  One singleton round separates every
+                # benign straggler from every bot exactly, instead of
+                # grinding out fractional E[S] with mixed groups.
+                width = n_clients
+            plan = self.plan_cache(n_clients, believed, width)
+            if plan.expected_saved < self.QUARANTINE_EXPECTED_SAVED:
+                # Equation 1 says no further shuffle of *these* clients
+                # saves anyone: the population is believed all-bot (the
+                # common case is a single bot isolated on its own
+                # replica).  Quarantine the replicas — leave the bots
+                # flooding them — and keep watching the rest.
+                self.quarantine_replicas.update(attacked_ids)
+                return
+
+            sizes = plan.nonempty_sizes()
+            replacements = [await self.pool.spawn() for _ in sizes]
+            order = [
+                clients[i] for i in self._rng.permutation(n_clients)
+            ]
+            cursor = 0
+            for backend, size in zip(replacements, sizes):
+                for _ in range(size):
+                    client_id = order[cursor]
+                    cursor += 1
+                    backend.admit(client_id)
+                    self.assignments[client_id] = backend.replica_id
+            assert cursor == n_clients, "plan sizes must cover every client"
+            # Old instances close only after every client is rebound, so
+            # a MOVED straggler always finds its new home via WHERE.
+            for replica_id in attacked_ids:
+                await self.pool.retire(replica_id)
+
+            record = LiveShuffleRecord(
+                started_at=started, completed_at=self._clock(),
+                attacked_replicas=attacked_ids, n_clients=n_clients,
+                n_attacked=len(attacked_ids), estimated_bots=believed,
+                estimator=estimator, group_sizes=plan.group_sizes,
+                new_replicas=tuple(b.replica_id for b in replacements),
+                algorithm=plan.algorithm,
+            )
+            self.shuffles.append(record)
+            self._last_plan = _LastPlan(
+                plan=plan, replica_ids=record.new_replicas
+            )
+        finally:
+            self._shuffle_in_progress = False
+
+    # ------------------------------------------------------------------
+    # telemetry
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, object]:
+        """JSON-ready state dump (served on SNAPSHOT and /metrics)."""
+        now = self._clock()
+        return {
+            "uptime": (
+                now - self._started_at if self._started_at is not None
+                else 0.0
+            ),
+            "n_active": self.pool.n_active,
+            "n_assignments": len(self.assignments),
+            "attacked": [b.replica_id for b in self.pool.attacked()],
+            "shuffles_completed": self.shuffles_completed,
+            "max_shuffles": self.max_shuffles,
+            "budget_exhausted": self.budget_exhausted,
+            "believed_bots": self.believed_bots,
+            "quarantined": self.quarantined,
+            "quarantine_replicas": sorted(self.quarantine_replicas),
+            "plan_cache": {
+                "cells": self.plan_cache.cells,
+                "hits": self.plan_cache.hits,
+                "fallbacks": self.plan_cache.fallbacks,
+            },
+            "replicas": self.pool.snapshot(),
+            "shuffles": [record.to_dict() for record in self.shuffles],
+        }

@@ -1,0 +1,171 @@
+"""One-call live scenarios: service + load + verdict.
+
+Wires a :class:`~repro.service.coordinator.ServiceCoordinator`, optional
+telemetry endpoint, and a :class:`~repro.service.loadgen.LoadGenerator`
+into a single scenario run, and reduces the outcome to the paper's
+success criterion: what fraction of benign clients ended up on replicas
+no bot can reach, and within how many shuffles.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+
+from ..sim.qos import QoSWindow, windows_to_dicts
+from .budget import shuffle_budget
+from .config import ServiceConfig
+from .coordinator import ServiceCoordinator
+from .loadgen import LoadConfig, LoadGenerator
+from .telemetry import TelemetryServer
+
+__all__ = ["ScenarioReport", "run_scenario", "run_scenario_sync"]
+
+
+@dataclass
+class ScenarioReport:
+    """Outcome of one live scenario.
+
+    Attributes:
+        quarantined: the coordinator declared quarantine (its planner's
+            ``E[S]`` fell below one saved client).
+        shuffles_completed: live shuffle rounds executed.
+        budget: the hard round cap derived from the oracle prediction
+            (``None`` = scenario theoretically unwinnable at this ``P``).
+        benign_clean_fraction: benign clients whose final replica hosts
+            no bot, over all benign clients.
+        bot_replicas: replica IDs hosting at least one bot at the end.
+        windows: benign QoS timeline in the shared sim/live schema.
+        snapshot: final coordinator state dump.
+    """
+
+    quarantined: bool
+    budget_exhausted: bool
+    shuffles_completed: int
+    budget: int | None
+    benign_clean_fraction: float
+    bot_replicas: tuple[str, ...]
+    duration: float
+    bot_served: int
+    bot_throttled: int
+    windows: list[QoSWindow] = field(default_factory=list)
+    snapshot: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "quarantined": self.quarantined,
+            "budget_exhausted": self.budget_exhausted,
+            "shuffles_completed": self.shuffles_completed,
+            "budget": self.budget,
+            "benign_clean_fraction": self.benign_clean_fraction,
+            "bot_replicas": list(self.bot_replicas),
+            "duration": self.duration,
+            "bot_served": self.bot_served,
+            "bot_throttled": self.bot_throttled,
+            "windows": windows_to_dicts(self.windows),
+            "snapshot": self.snapshot,
+        }
+
+
+def _clean_fraction(
+    coordinator: ServiceCoordinator, load: LoadGenerator
+) -> tuple[float, tuple[str, ...]]:
+    """Fraction of benign clients assigned to bot-free replicas."""
+    bot_replicas = sorted({
+        coordinator.assignments[bot_id]
+        for bot_id in load.bot_ids
+        if bot_id in coordinator.assignments
+    })
+    if not load.benign_ids:
+        return 1.0, tuple(bot_replicas)
+    dirty = set(bot_replicas)
+    clean = sum(
+        1 for cid in load.benign_ids
+        if coordinator.assignments.get(cid) not in dirty
+    )
+    return clean / len(load.benign_ids), tuple(bot_replicas)
+
+
+async def run_scenario(
+    service_config: ServiceConfig,
+    load_config: LoadConfig,
+    duration: float = 60.0,
+    target_fraction: float = 0.95,
+    settle: float = 2.0,
+) -> ScenarioReport:
+    """Run one live attack scenario end to end.
+
+    Boots the defense, unleashes the load, and stops early once the
+    coordinator declares quarantine (plus ``settle`` seconds of
+    post-convergence observation) or the wall-clock ``duration`` runs
+    out.  The shuffle budget handed to the coordinator is the oracle
+    prediction of :mod:`repro.analysis.convergence` with slack.
+    """
+    budget = shuffle_budget(
+        benign=load_config.n_benign,
+        bots=load_config.n_bots,
+        n_replicas=service_config.n_replicas,
+        target_fraction=target_fraction,
+    )
+    coordinator = ServiceCoordinator(service_config, max_shuffles=budget)
+    await coordinator.start()
+    telemetry: TelemetryServer | None = None
+    if service_config.telemetry_port is not None:
+        telemetry = TelemetryServer(
+            coordinator.snapshot,
+            host=service_config.host,
+            port=service_config.telemetry_port,
+        )
+        await telemetry.start()
+    load = LoadGenerator(
+        load_config,
+        control_host=service_config.host,
+        control_port=coordinator.control_port,
+        context=lambda: {
+            "attacked": [b.replica_id for b in coordinator.pool.attacked()],
+            "n_active": coordinator.pool.n_active,
+            "shuffles_completed": coordinator.shuffles_completed,
+        },
+    )
+    started = time.monotonic()
+    try:
+        windows = await load.run(
+            duration,
+            until=lambda: coordinator.quarantined
+            or coordinator.budget_exhausted,
+            settle=settle,
+        )
+        elapsed = time.monotonic() - started
+        clean_fraction, bot_replicas = _clean_fraction(coordinator, load)
+        return ScenarioReport(
+            quarantined=coordinator.quarantined,
+            budget_exhausted=coordinator.budget_exhausted,
+            shuffles_completed=coordinator.shuffles_completed,
+            budget=budget,
+            benign_clean_fraction=clean_fraction,
+            bot_replicas=bot_replicas,
+            duration=elapsed,
+            bot_served=load.bot_served,
+            bot_throttled=load.bot_throttled,
+            windows=windows,
+            snapshot=coordinator.snapshot(),
+        )
+    finally:
+        if telemetry is not None:
+            await telemetry.stop()
+        await coordinator.stop()
+
+
+def run_scenario_sync(
+    service_config: ServiceConfig,
+    load_config: LoadConfig,
+    duration: float = 60.0,
+    target_fraction: float = 0.95,
+    settle: float = 2.0,
+) -> ScenarioReport:
+    """Blocking wrapper around :func:`run_scenario` (CLI entry point)."""
+    return asyncio.run(run_scenario(
+        service_config, load_config,
+        duration=duration, target_fraction=target_fraction, settle=settle,
+    ))

@@ -1,0 +1,101 @@
+"""The live replica pool: fixed-size fleet with fresh-port substitution.
+
+The paper keeps the number of *advertised* replicas constant while their
+network identities churn: every shuffle retires the attacked instances
+and "instantiates the same number of replacement server instances" at
+addresses the attacker has never seen.  On localhost the moving-target
+dimension is the TCP port — substitution binds the replacement backend
+to a fresh OS-assigned port, so a bot that memorised the old address is
+flooding a closed socket.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable
+
+from .backend import ReplicaBackend
+from .config import ServiceConfig
+
+__all__ = ["ReplicaPool"]
+
+
+class ReplicaPool:
+    """Fleet of :class:`ReplicaBackend` servers, size held at ``P``.
+
+    Replica IDs are monotonic (``r-1``, ``r-2``, ...) and never reused,
+    so shuffle records can always tell a substitute from the instance it
+    replaced.  Iteration order over active replicas is spawn order —
+    deterministic regardless of dict mutation history.
+    """
+
+    def __init__(
+        self,
+        config: ServiceConfig,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.config = config
+        self._clock = clock
+        self._counter = 0
+        self.backends: dict[str, ReplicaBackend] = {}
+        self.retired: dict[str, ReplicaBackend] = {}
+
+    # ------------------------------------------------------------------
+    async def spawn(self) -> ReplicaBackend:
+        """Boot one fresh backend at a never-advertised port."""
+        self._counter += 1
+        replica_id = f"r-{self._counter}"
+        backend = ReplicaBackend(self.config, replica_id, clock=self._clock)
+        await backend.start(port=0)
+        self.backends[replica_id] = backend
+        return backend
+
+    async def start(self) -> list[ReplicaBackend]:
+        """Boot the initial fleet of ``n_replicas`` backends."""
+        return [
+            await self.spawn() for _ in range(self.config.n_replicas)
+        ]
+
+    async def retire(self, replica_id: str) -> None:
+        """Quiesce and close one backend; its port goes dark."""
+        backend = self.backends.pop(replica_id, None)
+        if backend is None:
+            return
+        backend.quiesce()
+        await backend.stop()
+        self.retired[replica_id] = backend
+
+    async def substitute(self, replica_ids: list[str]) -> list[ReplicaBackend]:
+        """Replace each named replica with a fresh-port substitute.
+
+        Replacements are booted *before* the old instances close, so the
+        pool never serves below capacity mid-shuffle.
+        """
+        replacements = [await self.spawn() for _ in replica_ids]
+        for replica_id in replica_ids:
+            await self.retire(replica_id)
+        return replacements
+
+    async def stop(self) -> None:
+        """Close every live backend (shutdown path)."""
+        for replica_id in list(self.backends):
+            await self.retire(replica_id)
+
+    # ------------------------------------------------------------------
+    def active(self) -> list[ReplicaBackend]:
+        """Live backends in spawn order."""
+        return [b for b in self.backends.values() if b.is_active]
+
+    def attacked(self) -> list[ReplicaBackend]:
+        """Live backends currently reporting saturation."""
+        return [b for b in self.active() if b.attacked()]
+
+    def get(self, replica_id: str) -> ReplicaBackend | None:
+        return self.backends.get(replica_id)
+
+    @property
+    def n_active(self) -> int:
+        return len(self.active())
+
+    def snapshot(self) -> list[dict[str, object]]:
+        return [b.snapshot() for b in self.backends.values()]

@@ -1,0 +1,103 @@
+"""JSON telemetry for the live service.
+
+A deliberately tiny HTTP/1.0 endpoint (``curl http://host:port/metrics``
+works) serving the coordinator's :meth:`snapshot` — enough to watch a
+live run converge without attaching a debugger — plus file-export
+helpers that write the same JSON, and QoS windows in the shared
+:mod:`repro.sim.qos` schema, for offline comparison against cloudsim
+timelines (see ``docs/live-vs-sim.md``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from pathlib import Path
+from typing import Callable, Iterable
+
+from ..sim.qos import QoSWindow, windows_to_dicts
+
+__all__ = ["TelemetryServer", "export_snapshot", "export_windows"]
+
+
+class TelemetryServer:
+    """Serve a snapshot callable as JSON over HTTP.
+
+    Args:
+        snapshot: zero-argument callable returning a JSON-ready dict
+            (typically ``coordinator.snapshot``).
+        host: bind interface.
+        port: bind port (0 = ephemeral).
+    """
+
+    def __init__(
+        self,
+        snapshot: Callable[[], dict],
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._snapshot = snapshot
+        self.host = host
+        self.port: int | None = port
+        self._server: asyncio.base_events.Server | None = None
+
+    async def start(self) -> None:
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port or 0
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        if self._server is None or self.port is None:
+            raise RuntimeError("telemetry server not started")
+        return (self.host, self.port)
+
+    async def _handle(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        try:
+            # One-shot exchange: read the request head, answer, close.
+            await reader.readline()
+            body = json.dumps(self._snapshot()).encode("utf-8")
+            writer.write(
+                b"HTTP/1.0 200 OK\r\n"
+                b"Content-Type: application/json\r\n"
+                + f"Content-Length: {len(body)}\r\n\r\n".encode("ascii")
+                + body
+            )
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+
+def export_snapshot(snapshot: dict, path: str | Path) -> Path:
+    """Write one coordinator snapshot as pretty JSON."""
+    target = Path(path)
+    target.write_text(
+        json.dumps(snapshot, indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    return target
+
+
+def export_windows(windows: Iterable[QoSWindow], path: str | Path) -> Path:
+    """Write QoS windows in the shared sim/live comparison schema."""
+    target = Path(path)
+    target.write_text(
+        json.dumps(windows_to_dicts(list(windows)), indent=2) + "\n",
+        encoding="utf-8",
+    )
+    return target

@@ -1,0 +1,143 @@
+"""Per-replica rate limiting and overload detection.
+
+Two small real-time primitives back the live service's "attacked"
+signal, the observable the whole control loop feeds on:
+
+- :class:`TokenBucket` — the classic refill-at-rate limiter.  Every
+  admitted request costs one token; a drained bucket means the replica
+  is serving at capacity and further requests are throttled.
+- :class:`SaturationMonitor` — a sliding-window throttle-ratio meter.
+  The paper detects attacks as "sudden congestion" on a replica's load
+  indicators; here the indicator is the fraction of recent requests the
+  bucket had to reject.  A bot flooding its assigned replica drains the
+  bucket and drives that fraction toward 1, while a replica carrying
+  only benign clients (provisioned below capacity) stays near 0 — the
+  separation that makes saturation a usable attack signal.
+
+Both take an injectable monotonic ``clock`` so unit tests can drive
+them deterministically; the service itself runs them on
+``time.monotonic`` (the ``service`` layer is exempt from the simulator
+wall-clock ban — see the P4 rule scope in reprolint).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Callable
+
+__all__ = ["TokenBucket", "SaturationMonitor"]
+
+
+class TokenBucket:
+    """Token-bucket rate limiter (``rate`` tokens/s, ``burst`` cap).
+
+    Args:
+        rate: steady-state refill rate in tokens per second.
+        burst: bucket capacity — the largest burst admitted from idle.
+        clock: monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be > 0")
+        self.rate = rate
+        self.burst = burst
+        self._clock = clock
+        self._tokens = float(burst)
+        self._updated = clock()
+
+    def _refill(self, now: float) -> None:
+        elapsed = max(0.0, now - self._updated)
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._updated = now
+
+    def try_acquire(self, cost: float = 1.0) -> bool:
+        """Consume ``cost`` tokens if available; False when drained."""
+        now = self._clock()
+        self._refill(now)
+        if self._tokens >= cost:
+            self._tokens -= cost
+            return True
+        return False
+
+    @property
+    def tokens(self) -> float:
+        """Current token level (after refilling to now)."""
+        self._refill(self._clock())
+        return self._tokens
+
+
+class SaturationMonitor:
+    """Sliding-window throttle-ratio overload detector.
+
+    Args:
+        window: window length in seconds.
+        overload_ratio: throttled fraction at which :meth:`saturated`
+            reports True.
+        min_events: minimum observations inside the window before the
+            signal may fire (an idle or freshly booted replica must not
+            look attacked on one unlucky request).
+        clock: monotonic time source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        window: float,
+        overload_ratio: float,
+        min_events: int,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if window <= 0:
+            raise ValueError("window must be > 0")
+        if not 0.0 < overload_ratio <= 1.0:
+            raise ValueError("overload_ratio must be within (0, 1]")
+        self.window = window
+        self.overload_ratio = overload_ratio
+        self.min_events = min_events
+        self._clock = clock
+        self._events: deque[tuple[float, bool]] = deque()
+        self._throttled_in_window = 0
+
+    def _prune(self, now: float) -> None:
+        horizon = now - self.window
+        events = self._events
+        while events and events[0][0] < horizon:
+            _, throttled = events.popleft()
+            if throttled:
+                self._throttled_in_window -= 1
+
+    def record(self, admitted: bool) -> None:
+        """Record one request outcome (admitted or throttled)."""
+        now = self._clock()
+        self._events.append((now, not admitted))
+        if not admitted:
+            self._throttled_in_window += 1
+        self._prune(now)
+
+    def counts(self) -> tuple[int, int]:
+        """(total, throttled) events currently inside the window."""
+        self._prune(self._clock())
+        return len(self._events), self._throttled_in_window
+
+    def throttle_ratio(self) -> float:
+        total, throttled = self.counts()
+        if total == 0:
+            return 0.0
+        return throttled / total
+
+    def saturated(self) -> bool:
+        """True when the window shows sustained overload."""
+        total, throttled = self.counts()
+        if total < self.min_events:
+            return False
+        return throttled / total >= self.overload_ratio
+
+    def reset(self) -> None:
+        self._events.clear()
+        self._throttled_in_window = 0

@@ -6,11 +6,15 @@
   per-run records.
 - :mod:`~repro.sim.scenarios` — the exact parameter grids of Figures 8-10.
 - :mod:`~repro.sim.stats` — mean / confidence-interval reporting.
+- :mod:`~repro.sim.qos` — the shared per-window QoS record emitted by
+  both the DES (:mod:`repro.cloudsim`) and the live service
+  (:mod:`repro.service`).
 """
 
 from __future__ import annotations
 
 from .arrivals import PAPER_BENIGN_RATE, PAPER_BOT_RATE, PoissonArrivals
+from .qos import QoSWindow, windows_from_dicts, windows_to_dicts
 from .campaign import (
     AttackWave,
     CampaignConfig,
@@ -48,6 +52,7 @@ __all__ = [
     "PAPER_BENIGN_RATE",
     "PAPER_BOT_RATE",
     "PoissonArrivals",
+    "QoSWindow",
     "RunRecord",
     "SampleSummary",
     "ScenarioResult",
@@ -64,4 +69,6 @@ __all__ = [
     "run_scenario",
     "run_scenario_once",
     "summarize",
+    "windows_from_dicts",
+    "windows_to_dicts",
 ]

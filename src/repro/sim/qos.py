@@ -1,0 +1,109 @@
+"""Shared QoS window schema — one comparison format for sim and live.
+
+The paper's success criterion is "restoring quality of service for
+benign-but-affected clients", measured as a time series of per-window
+benign outcomes.  Two very different harnesses produce that series:
+
+- :mod:`repro.cloudsim.metrics` — the discrete-event simulation, where
+  ``time`` is the DES clock;
+- :mod:`repro.service` — the live asyncio defense service, where
+  ``time`` is wall-clock seconds since the run started.
+
+Both emit :class:`QoSWindow` records with identical fields and
+semantics, so a live load-generator run can be laid over a cloudsim
+Figure 8-style curve sample-for-sample (see ``docs/live-vs-sim.md``).
+
+Latency accounting contract: ``latency_sum``/``latency_count`` cover
+every *completed* request with a measured duration — successful or
+failed.  A request that was throttled or dropped after reaching the
+server still cost its client real time; folding those into the mean
+(rather than silently dropping them, as an ok-only denominator would)
+is what makes the latency series honest during an attack, exactly when
+it matters.  Requests that never completed (no response observed) carry
+no measurement and stay out of both fields.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["QoSWindow", "windows_to_dicts", "windows_from_dicts"]
+
+
+@dataclass(frozen=True)
+class QoSWindow:
+    """Aggregated benign QoS over one sampling window.
+
+    Attributes:
+        time: end of the window — DES clock (cloudsim) or wall-clock
+            seconds since run start (service).
+        benign_sent: benign requests issued in the window.
+        benign_ok: benign requests that succeeded.
+        latency_sum: total measured latency (seconds) of *completed*
+            requests, successful or failed (see module docstring).
+        latency_count: number of completed requests with a measured
+            latency.
+        attacked_replicas: replicas flagged as under attack when the
+            window closed.
+        active_replicas: replicas serving traffic when the window
+            closed.
+        shuffles_completed: cumulative shuffle operations finished by
+            the end of the window.
+    """
+
+    time: float
+    benign_sent: int
+    benign_ok: int
+    latency_sum: float
+    latency_count: int
+    attacked_replicas: int
+    active_replicas: int
+    shuffles_completed: int
+
+    @property
+    def success_ratio(self) -> float:
+        if self.benign_sent == 0:
+            return 1.0
+        return self.benign_ok / self.benign_sent
+
+    @property
+    def mean_latency(self) -> float:
+        if self.latency_count == 0:
+            return 0.0
+        return self.latency_sum / self.latency_count
+
+    def to_dict(self) -> dict[str, float | int]:
+        """JSON-ready row, derived ratios included for convenience."""
+        row: dict[str, float | int] = dict(asdict(self))
+        row["success_ratio"] = self.success_ratio
+        row["mean_latency"] = self.mean_latency
+        return row
+
+    @classmethod
+    def from_dict(cls, row: Mapping[str, float | int]) -> "QoSWindow":
+        """Inverse of :meth:`to_dict` (derived fields are ignored)."""
+        return cls(
+            time=float(row["time"]),
+            benign_sent=int(row["benign_sent"]),
+            benign_ok=int(row["benign_ok"]),
+            latency_sum=float(row["latency_sum"]),
+            latency_count=int(row["latency_count"]),
+            attacked_replicas=int(row["attacked_replicas"]),
+            active_replicas=int(row["active_replicas"]),
+            shuffles_completed=int(row["shuffles_completed"]),
+        )
+
+
+def windows_to_dicts(
+    samples: Sequence[QoSWindow],
+) -> list[dict[str, float | int]]:
+    """Serialize a QoS series for JSON export."""
+    return [sample.to_dict() for sample in samples]
+
+
+def windows_from_dicts(
+    rows: Iterable[Mapping[str, float | int]],
+) -> list[QoSWindow]:
+    """Parse a QoS series exported by :func:`windows_to_dicts`."""
+    return [QoSWindow.from_dict(row) for row in rows]

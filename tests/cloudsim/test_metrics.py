@@ -5,8 +5,9 @@ from __future__ import annotations
 import pytest
 
 from repro.cloudsim.clients import BenignClient
-from repro.cloudsim.metrics import MetricsCollector, WindowSample
+from repro.cloudsim.metrics import MetricsCollector, QoSWindow, WindowSample
 from repro.cloudsim.system import CloudConfig, CloudContext, CloudDefenseSystem
+from repro.sim.qos import QoSWindow as SharedQoSWindow
 
 
 @pytest.fixture
@@ -15,10 +16,16 @@ def ctx():
 
 
 class TestWindowSample:
+    def test_shared_schema_alias(self):
+        # One comparison format: cloudsim's WindowSample IS the shared
+        # record the live service telemetry emits.
+        assert WindowSample is SharedQoSWindow
+        assert QoSWindow is SharedQoSWindow
+
     def test_ratios(self):
         sample = WindowSample(
             time=1.0, benign_sent=10, benign_ok=8,
-            benign_latency_sum=1.6, attacked_replicas=0,
+            latency_sum=1.6, latency_count=8, attacked_replicas=0,
             active_replicas=4, shuffles_completed=0,
         )
         assert sample.success_ratio == pytest.approx(0.8)
@@ -27,11 +34,22 @@ class TestWindowSample:
     def test_empty_window_defaults(self):
         sample = WindowSample(
             time=0.0, benign_sent=0, benign_ok=0,
-            benign_latency_sum=0.0, attacked_replicas=0,
+            latency_sum=0.0, latency_count=0, attacked_replicas=0,
             active_replicas=0, shuffles_completed=0,
         )
         assert sample.success_ratio == 1.0
         assert sample.mean_latency == 0.0
+
+    def test_failed_but_completed_latency_counts(self):
+        """A failed request with a measured duration is part of the
+        latency mean — an ok-only denominator would hide exactly the
+        slow failures an attack produces."""
+        sample = WindowSample(
+            time=1.0, benign_sent=4, benign_ok=2,
+            latency_sum=2.0, latency_count=4, attacked_replicas=1,
+            active_replicas=4, shuffles_completed=0,
+        )
+        assert sample.mean_latency == pytest.approx(0.5)
 
 
 class TestCollector:
@@ -42,6 +60,18 @@ class TestCollector:
         collector.record_request(benign, ok=False, latency=None)
         assert collector.benign_success_ratio() == pytest.approx(0.5)
         assert collector.totals["benign"]["sent"] == 2
+
+    def test_failed_request_latency_not_dropped(self, ctx):
+        """Regression: failed-but-completed requests used to vanish
+        from the window latency sum entirely."""
+        collector = MetricsCollector(ctx)
+        benign = BenignClient(ctx, "u1")
+        collector.record_request(benign, ok=True, latency=0.1)
+        collector.record_request(benign, ok=False, latency=0.3)
+        collector.record_request(benign, ok=False, latency=None)
+        assert collector._window_latency == pytest.approx(0.4)
+        assert collector._window_latency_count == 2
+        assert collector.totals["benign"]["latency"] == pytest.approx(0.4)
 
     def test_unknown_kind_defaults_to_perfect(self, ctx):
         collector = MetricsCollector(ctx)

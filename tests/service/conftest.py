@@ -1,0 +1,44 @@
+"""Shared fixtures for the live-service tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import ServiceConfig
+
+
+class FakeClock:
+    """Manually advanced monotonic clock for real-time primitives."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock() -> FakeClock:
+    return FakeClock()
+
+
+@pytest.fixture
+def config() -> ServiceConfig:
+    """Small, fast service configuration for unit tests."""
+    return ServiceConfig(
+        n_replicas=3,
+        telemetry_port=None,
+        bucket_rate=50.0,
+        bucket_burst=5.0,
+        saturation_window=1.0,
+        overload_ratio=0.5,
+        min_window_events=4,
+        detection_interval=0.05,
+        detection_confirmations=1,
+        plan_client_grid=(5, 10, 25, 50),
+        plan_bot_grid=(1, 2, 5, 10),
+        seed=7,
+    )

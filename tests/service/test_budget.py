@@ -1,0 +1,45 @@
+"""Shuffle budgets: oracle prediction with slack, floors, impossibility."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.analysis.convergence import predict_shuffles
+from repro.service import MIN_BUDGET, SLACK_FACTOR, shuffle_budget
+
+
+def test_acceptance_scenario_budget():
+    # The paper-scale scenario: 200 benign + 20 bots on 10 replicas.
+    # The oracle predicts 14 rounds; 3x slack gives the live loop 42.
+    assert predict_shuffles(180, 20, 10, 0.95) == 14
+    assert shuffle_budget(200, 20, 10) == 42
+
+
+@pytest.mark.parametrize(
+    "benign,bots,replicas",
+    [(200, 20, 10), (50, 5, 3), (100, 10, 5), (400, 40, 10)],
+)
+def test_budget_is_slacked_oracle(benign, bots, replicas):
+    oracle = predict_shuffles(benign, bots, replicas, 0.95)
+    budget = shuffle_budget(benign, bots, replicas)
+    assert budget == max(MIN_BUDGET, math.ceil(oracle * SLACK_FACTOR))
+
+
+def test_floor_protects_tiny_scenarios():
+    # The oracle predicts 2 rounds for 10/1/4; with tiny slack the raw
+    # cap would be 1 — the floor keeps room for one bad estimate.
+    assert predict_shuffles(10, 1, 4, 0.95) == 2
+    assert shuffle_budget(10, 1, 4, slack=0.1) == MIN_BUDGET
+
+
+def test_unwinnable_scenario_returns_none():
+    # One replica cannot separate anyone from anything (Theorem 1
+    # saturation): there is no budget that makes this winnable.
+    assert shuffle_budget(50, 5, 1) is None
+
+
+def test_custom_slack_scales_the_cap():
+    lax = shuffle_budget(200, 20, 10, slack=6.0)
+    assert lax == 84

@@ -1,0 +1,75 @@
+"""CLI behaviour of ``repro-serve``: parsing, exit codes, outputs."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.service.cli import build_parser, main
+
+
+class TestParser:
+    def test_scenario_defaults(self):
+        options = build_parser().parse_args(["scenario"])
+        assert options.command == "scenario"
+        assert (options.clients, options.bots, options.replicas) == (
+            200, 20, 10,
+        )
+        assert options.duration == 60.0
+        assert options.target == 0.95
+
+    def test_budget_accepts_population(self):
+        options = build_parser().parse_args(
+            ["budget", "--clients", "50", "--bots", "5", "--replicas", "4"]
+        )
+        assert (options.clients, options.bots, options.replicas) == (
+            50, 5, 4,
+        )
+
+    def test_missing_command_is_usage_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main([])
+        assert excinfo.value.code == 2
+
+    def test_unknown_command_is_usage_error(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["defend-harder"])
+        assert excinfo.value.code == 2
+
+
+class TestBudgetCommand:
+    def test_prints_acceptance_budget(self, capsys):
+        assert main([
+            "budget", "--clients", "200", "--bots", "20",
+            "--replicas", "10",
+        ]) == 0
+        assert capsys.readouterr().out.strip() == "42"
+
+    def test_unwinnable_scenario_fails_loudly(self, capsys):
+        assert main([
+            "budget", "--clients", "50", "--bots", "5", "--replicas", "1",
+        ]) == 1
+        assert "provision more replicas" in capsys.readouterr().out
+
+
+class TestScenarioCommand:
+    def test_benign_only_run_reports_and_exports(self, capsys, tmp_path):
+        report_path = tmp_path / "report.json"
+        windows_path = tmp_path / "windows.json"
+        code = main([
+            "scenario", "--clients", "6", "--bots", "0",
+            "--replicas", "2", "--duration", "2",
+            "--json", str(report_path), "--windows", str(windows_path),
+        ])
+        out = capsys.readouterr().out
+        # Nothing attacks, so the run times out without a quarantine —
+        # by the CLI contract that is a failed scenario.
+        assert code == 1
+        assert "quarantined: False" in out
+        report = json.loads(report_path.read_text())
+        assert report["quarantined"] is False
+        assert report["shuffles_completed"] == 0
+        assert report["snapshot"]["n_active"] == 2
+        windows = json.loads(windows_path.read_text())
+        assert windows and "success_ratio" in windows[0]

@@ -1,0 +1,80 @@
+"""Scenario harness and report/record datatypes."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from repro.service import (
+    DEFAULT_SEED,
+    BackendStats,
+    LiveShuffleRecord,
+    ScenarioReport,
+    ServiceConfig,
+    LoadConfig,
+    run_scenario,
+)
+
+
+def test_default_seed_is_the_service_default():
+    assert ServiceConfig().seed == DEFAULT_SEED
+
+
+def test_backend_stats_serialize():
+    stats = BackendStats()
+    stats.served = 3
+    stats.throttled = 1
+    assert stats.to_dict() == {
+        "served": 3, "throttled": 1, "denied": 0, "moved": 0,
+    }
+
+
+def test_shuffle_record_round_trips_through_json():
+    record = LiveShuffleRecord(
+        started_at=1.0, completed_at=1.2,
+        attacked_replicas=("r-1",), n_clients=10, n_attacked=1,
+        estimated_bots=2, estimator="mle", group_sizes=(4, 3, 3),
+        new_replicas=("r-4", "r-5", "r-6"), algorithm="cached",
+    )
+    row = json.loads(json.dumps(record.to_dict()))
+    assert row["group_sizes"] == [4, 3, 3]
+    assert row["estimator"] == "mle"
+    assert row["new_replicas"] == ["r-4", "r-5", "r-6"]
+
+
+def test_scenario_report_to_dict_is_json_ready():
+    report = ScenarioReport(
+        quarantined=True, budget_exhausted=False, shuffles_completed=3,
+        budget=12, benign_clean_fraction=0.975, bot_replicas=("r-9",),
+        duration=8.5, bot_served=10, bot_throttled=400,
+    )
+    row = json.loads(json.dumps(report.to_dict()))
+    assert row["quarantined"] is True
+    assert row["bot_replicas"] == ["r-9"]
+    assert row["windows"] == []
+
+
+def test_run_scenario_small_insider_attack():
+    """One bot among a dozen clients: the full loop, in-process."""
+    service_config = ServiceConfig(
+        n_replicas=3,
+        telemetry_port=0,  # exercise the telemetry endpoint wiring too
+        detection_interval=0.1,
+    )
+    load_config = LoadConfig(
+        n_benign=12, n_bots=1, benign_rps=4.0, bot_start_delay=0.5,
+        window=0.25, seed=5,
+    )
+
+    report = asyncio.run(run_scenario(
+        service_config, load_config, duration=30.0, settle=1.0,
+    ))
+
+    assert report.quarantined, report.snapshot
+    assert report.benign_clean_fraction == 1.0
+    assert report.shuffles_completed <= report.budget
+    assert report.bot_replicas  # the bot is pinned somewhere
+    assert set(report.bot_replicas) <= set(
+        report.snapshot["quarantine_replicas"]
+    )
+    assert report.windows

@@ -1,0 +1,349 @@
+"""The live coordinator: assignment, estimation chain, shuffle paths."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.core.greedy import greedy_plan
+from repro.service import ServiceConfig, ServiceCoordinator, theorem1_fallback
+from repro.service.coordinator import _LastPlan
+
+
+def _saturate(backend, client_id: str = "bot-0", requests: int = 20) -> None:
+    """Drive a backend's throttle ratio over the detection threshold."""
+    backend.admit(client_id)
+    for seq in range(requests):
+        backend._respond(["REQ", client_id, str(seq)])
+    assert backend.attacked()
+
+
+class TestTheorem1Fallback:
+    def test_matches_saturation_threshold_at_paper_scale(self):
+        # ceil(log(1/10) / log(9/10)) — the Theorem 1 bound for P=10.
+        assert theorem1_fallback(10) == 22
+
+    def test_degenerate_pool_sizes(self):
+        assert theorem1_fallback(1) == 1
+        assert theorem1_fallback(2) == 1
+
+
+class TestAssignment:
+    def test_least_loaded_then_sticky(self, config):
+        async def scenario():
+            coordinator = ServiceCoordinator(config)
+            await coordinator.pool.start()
+            try:
+                first = [
+                    coordinator.assign(f"u-{i}").replica_id for i in range(6)
+                ]
+                again = coordinator.assign("u-0").replica_id
+                return first, again
+            finally:
+                await coordinator.pool.stop()
+
+        first, again = asyncio.run(scenario())
+        # Six clients over three replicas: perfectly balanced.
+        assert sorted(first.count(r) for r in set(first)) == [2, 2, 2]
+        assert again == first[0]  # sticky on re-query
+
+    def test_reassigns_when_home_replica_is_gone(self, config):
+        async def scenario():
+            coordinator = ServiceCoordinator(config)
+            await coordinator.pool.start()
+            try:
+                home = coordinator.assign("u-0").replica_id
+                await coordinator.pool.retire(home)
+                return home, coordinator.assign("u-0").replica_id
+            finally:
+                await coordinator.pool.stop()
+
+        home, rehomed = asyncio.run(scenario())
+        assert rehomed != home
+
+
+class TestControlChannel:
+    def test_join_where_snapshot_over_tcp(self, config):
+        async def scenario():
+            coordinator = ServiceCoordinator(config)
+            await coordinator.start()
+            try:
+                reader, writer = await asyncio.open_connection(
+                    *coordinator.control_address
+                )
+                writer.write(b"JOIN u-1\nWHERE u-1\nSNAPSHOT\nNOPE\n")
+                await writer.drain()
+                lines = [await reader.readline() for _ in range(4)]
+                writer.close()
+                return lines
+            finally:
+                await coordinator.stop()
+
+        join, where, snapshot, bad = asyncio.run(scenario())
+        parts = join.decode().split()
+        assert parts[0] == "ASSIGN" and parts[1] == "u-1"
+        assert where == join  # sticky: same address on re-query
+        state = json.loads(snapshot)
+        assert state["n_active"] == 3
+        assert state["shuffles_completed"] == 0
+        assert bad == b"ERR malformed\n"
+
+
+class TestEstimation:
+    def test_round_one_uses_occupancy_mle(self, config):
+        async def scenario():
+            coordinator = ServiceCoordinator(config)
+            await coordinator.pool.start()
+            try:
+                return coordinator._estimate(("r-1",), n_clients=30)
+            finally:
+                await coordinator.pool.stop()
+
+        believed, estimator = asyncio.run(scenario())
+        assert estimator == "mle"
+        assert 1 <= believed <= 30
+
+    def test_degenerate_first_observation_uses_theorem1(self, config):
+        async def scenario():
+            coordinator = ServiceCoordinator(config)
+            await coordinator.pool.start()
+            try:
+                return coordinator._estimate(
+                    ("r-1", "r-2", "r-3"), n_clients=30
+                )
+            finally:
+                await coordinator.pool.stop()
+
+        believed, estimator = asyncio.run(scenario())
+        # X = P says nothing beyond "M exceeds the saturation threshold".
+        assert believed == theorem1_fallback(3)
+        assert estimator == "mle"
+
+    def test_belief_is_sticky_across_undercounts(self, config):
+        async def scenario():
+            coordinator = ServiceCoordinator(config)
+            await coordinator.pool.start()
+            try:
+                coordinator.believed_bots = 5
+                return coordinator._estimate(("r-1",), n_clients=30)
+            finally:
+                await coordinator.pool.stop()
+
+        believed, _ = asyncio.run(scenario())
+        # A sweep that undercounts (bots mid-reconnect are invisible)
+        # must not lower the believed count: M is constant in the model.
+        assert believed == 5
+
+    def test_attacked_subset_of_last_plan_uses_weighted(self, config):
+        async def scenario():
+            coordinator = ServiceCoordinator(config)
+            await coordinator.pool.start()
+            try:
+                plan = greedy_plan(20, 4, 3)
+                coordinator._last_plan = _LastPlan(
+                    plan=plan, replica_ids=("r-1", "r-2", "r-3")
+                )
+                return coordinator._estimate(("r-1", "r-2"), n_clients=20)
+            finally:
+                await coordinator.pool.stop()
+
+        believed, estimator = asyncio.run(scenario())
+        assert estimator == "weighted"
+        assert believed >= 1
+
+    def test_belief_clamped_to_population(self, config):
+        async def scenario():
+            coordinator = ServiceCoordinator(config)
+            await coordinator.pool.start()
+            try:
+                coordinator.believed_bots = 50
+                return coordinator._estimate(("r-1",), n_clients=4)
+            finally:
+                await coordinator.pool.stop()
+
+        believed, _ = asyncio.run(scenario())
+        assert believed == 4  # cannot believe more bots than clients
+
+
+class TestShuffle:
+    def _boot(self, config) -> ServiceCoordinator:
+        # Long detection interval: the loop stays out of the way and the
+        # tests drive _shuffle directly.
+        quiet = ServiceConfig(
+            n_replicas=config.n_replicas,
+            telemetry_port=None,
+            bucket_rate=config.bucket_rate,
+            bucket_burst=config.bucket_burst,
+            saturation_window=config.saturation_window,
+            overload_ratio=config.overload_ratio,
+            min_window_events=config.min_window_events,
+            detection_interval=60.0,
+            plan_client_grid=config.plan_client_grid,
+            plan_bot_grid=config.plan_bot_grid,
+            seed=config.seed,
+        )
+        return ServiceCoordinator(quiet)
+
+    def test_shuffle_rebinds_every_client_and_retires_the_target(
+        self, config
+    ):
+        async def scenario():
+            coordinator = self._boot(config)
+            await coordinator.start()
+            try:
+                for i in range(8):
+                    coordinator.assign(f"u-{i}")
+                victim_id = coordinator.assignments["u-0"]
+                victim = coordinator.pool.get(victim_id)
+                moved = sorted(victim.whitelist)
+                _saturate(victim)
+                await coordinator._shuffle([victim])
+                record = coordinator.shuffles[0]
+                return {
+                    "victim": victim_id,
+                    "moved": moved,
+                    "record": record,
+                    "victim_active": victim.is_active,
+                    "assignments": dict(coordinator.assignments),
+                    "n_active": coordinator.pool.n_active,
+                }
+            finally:
+                await coordinator.stop()
+
+        out = asyncio.run(scenario())
+        record = out["record"]
+        # "bot-0" rode along in the victim's whitelist.
+        assert record.n_clients == len(out["moved"]) + 1
+        assert sum(record.group_sizes) == record.n_clients
+        assert record.attacked_replicas == (out["victim"],)
+        assert not out["victim_active"]
+        for client in out["moved"]:
+            assert out["assignments"][client] in record.new_replicas
+        # One retired, len(nonempty sizes) spawned: pool grows elastically.
+        assert out["n_active"] == 3 - 1 + len(record.new_replicas)
+
+    def test_endgame_dispersion_goes_singleton(self, config):
+        async def scenario():
+            coordinator = self._boot(config)
+            await coordinator.start()
+            try:
+                victim = coordinator.pool.get("r-1")
+                for i in range(4):
+                    victim.admit(f"u-{i}")
+                    coordinator.assignments[f"u-{i}"] = "r-1"
+                _saturate(victim, client_id="u-0")
+                coordinator.believed_bots = 2
+                await coordinator._shuffle([victim])
+                return coordinator.shuffles[0]
+            finally:
+                await coordinator.stop()
+
+        record = asyncio.run(scenario())
+        # 4 clients, 2 believed bots: one singleton round separates them
+        # exactly instead of grinding out fractional E[S].
+        assert record.group_sizes == (1, 1, 1, 1)
+        assert record.algorithm == "greedy"  # width != P bypasses cache
+
+    def test_hopeless_plan_quarantines_instead_of_shuffling(self, config):
+        async def scenario():
+            coordinator = self._boot(config)
+            await coordinator.start()
+            try:
+                victim = coordinator.pool.get("r-1")
+                for i in range(4):
+                    victim.admit(f"u-{i}")
+                    coordinator.assignments[f"u-{i}"] = "r-1"
+                _saturate(victim, client_id="u-0")
+                coordinator.believed_bots = 4  # everyone believed a bot
+                await coordinator._shuffle([victim])
+                return (
+                    coordinator.quarantine_replicas,
+                    coordinator.shuffles_completed,
+                    victim.is_active,
+                )
+            finally:
+                await coordinator.stop()
+
+        quarantined, shuffles, still_active = asyncio.run(scenario())
+        # E[S] = 0: no shuffle can save anyone, leave the bots flooding.
+        assert quarantined == {"r-1"}
+        assert shuffles == 0
+        assert still_active  # the quarantine replica keeps absorbing
+
+    def test_empty_attacked_replica_is_substituted(self, config):
+        async def scenario():
+            coordinator = self._boot(config)
+            await coordinator.start()
+            try:
+                victim = coordinator.pool.get("r-2")
+                _saturate(victim)
+                victim.evict("bot-0")  # flooded yet hosts nobody
+                await coordinator._shuffle([victim])
+                return coordinator.shuffles[0], coordinator.pool.n_active
+            finally:
+                await coordinator.stop()
+
+        record, n_active = asyncio.run(scenario())
+        assert record.n_clients == 0
+        assert record.group_sizes == ()
+        assert len(record.new_replicas) == 1
+        assert n_active == 3  # straight one-for-one substitution
+
+
+class TestQuarantineConvergence:
+    def test_requires_calm_streak(self, config):
+        coordinator = ServiceCoordinator(config)
+        assert not coordinator.quarantined  # nothing quarantined yet
+        coordinator.quarantine_replicas.add("r-1")
+        coordinator._calm_sweeps = coordinator.CALM_SWEEPS - 1
+        assert not coordinator.quarantined  # streak not long enough
+        coordinator._calm_sweeps = coordinator.CALM_SWEEPS
+        assert coordinator.quarantined
+
+    def test_detect_loop_quarantines_a_lone_insider(self, config):
+        async def scenario():
+            coordinator = ServiceCoordinator(config)
+            await coordinator.start()
+            try:
+                victim = coordinator.assign("bot-0")
+                _saturate(victim, requests=40)
+                for _ in range(200):
+                    await asyncio.sleep(config.detection_interval)
+                    if coordinator.quarantined:
+                        break
+                return (
+                    coordinator.quarantined,
+                    coordinator.quarantine_replicas,
+                    coordinator.snapshot(),
+                )
+            finally:
+                await coordinator.stop()
+
+        quarantined, replicas, snapshot = asyncio.run(scenario())
+        assert quarantined
+        assert len(replicas) >= 1
+        assert snapshot["quarantined"] is True
+
+    def test_budget_exhaustion_flag(self, config):
+        async def scenario():
+            coordinator = ServiceCoordinator(config, max_shuffles=0)
+            await coordinator.start()
+            try:
+                victim = coordinator.assign("bot-0")
+                _saturate(victim, requests=40)
+                for _ in range(100):
+                    await asyncio.sleep(config.detection_interval)
+                    if coordinator.budget_exhausted:
+                        break
+                return (
+                    coordinator.budget_exhausted,
+                    coordinator.shuffles_completed,
+                )
+            finally:
+                await coordinator.stop()
+
+        exhausted, shuffles = asyncio.run(scenario())
+        assert exhausted
+        assert shuffles == 0

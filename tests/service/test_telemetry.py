@@ -1,0 +1,87 @@
+"""Telemetry: the HTTP metrics endpoint and file exporters."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.service import TelemetryServer, export_snapshot, export_windows
+from repro.sim.qos import QoSWindow
+
+
+async def _http_get(host: str, port: int) -> tuple[bytes, bytes]:
+    reader, writer = await asyncio.open_connection(host, port)
+    writer.write(b"GET /metrics HTTP/1.0\r\n\r\n")
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    head, _, body = raw.partition(b"\r\n\r\n")
+    return head, body
+
+
+def test_serves_snapshot_as_json_over_http():
+    async def scenario():
+        state = {"shuffles_completed": 3, "quarantined": False}
+        server = TelemetryServer(lambda: state)
+        await server.start()
+        try:
+            return await _http_get(*server.address)
+        finally:
+            await server.stop()
+
+    head, body = asyncio.run(scenario())
+    assert head.startswith(b"HTTP/1.0 200 OK")
+    assert b"Content-Type: application/json" in head
+    assert json.loads(body) == {
+        "shuffles_completed": 3, "quarantined": False,
+    }
+
+
+def test_snapshot_callable_polled_per_request():
+    async def scenario():
+        counter = {"n": 0}
+
+        def snapshot() -> dict:
+            counter["n"] += 1
+            return counter
+
+        server = TelemetryServer(snapshot)
+        await server.start()
+        try:
+            _, first = await _http_get(*server.address)
+            _, second = await _http_get(*server.address)
+            return json.loads(first), json.loads(second)
+        finally:
+            await server.stop()
+
+    first, second = asyncio.run(scenario())
+    assert (first["n"], second["n"]) == (1, 2)  # live state, not a copy
+
+
+def test_address_requires_start():
+    server = TelemetryServer(dict)
+    with pytest.raises(RuntimeError):
+        server.address
+
+
+def test_export_snapshot_round_trips(tmp_path):
+    target = export_snapshot({"b": 2, "a": [1]}, tmp_path / "snap.json")
+    assert json.loads(target.read_text()) == {"a": [1], "b": 2}
+
+
+def test_export_windows_uses_shared_schema(tmp_path):
+    windows = [
+        QoSWindow(
+            time=0.5, benign_sent=10, benign_ok=9,
+            latency_sum=0.9, latency_count=10,
+            attacked_replicas=1, active_replicas=3,
+            shuffles_completed=0,
+        ),
+    ]
+    target = export_windows(windows, tmp_path / "windows.json")
+    rows = json.loads(target.read_text())
+    assert len(rows) == 1
+    assert rows[0]["benign_ok"] == 9
+    assert rows[0]["attacked_replicas"] == 1

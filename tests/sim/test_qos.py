@@ -1,0 +1,55 @@
+"""The shared QoS window schema (sim <-> live comparison format)."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.sim.qos import QoSWindow, windows_from_dicts, windows_to_dicts
+
+
+def window(**overrides) -> QoSWindow:
+    base = dict(
+        time=2.0, benign_sent=20, benign_ok=15, latency_sum=3.0,
+        latency_count=18, attacked_replicas=2, active_replicas=10,
+        shuffles_completed=1,
+    )
+    base.update(overrides)
+    return QoSWindow(**base)
+
+
+class TestDerived:
+    def test_success_ratio(self):
+        assert window().success_ratio == pytest.approx(0.75)
+        assert window(benign_sent=0, benign_ok=0).success_ratio == 1.0
+
+    def test_mean_latency_over_all_completed(self):
+        # 18 completed measurements but only 15 ok: the 3 failed-but-
+        # completed requests stay in the denominator.
+        assert window().mean_latency == pytest.approx(3.0 / 18)
+        assert window(latency_sum=0.0, latency_count=0).mean_latency == 0.0
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            window().time = 3.0
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        samples = [window(), window(time=3.0, shuffles_completed=2)]
+        rows = windows_to_dicts(samples)
+        assert windows_from_dicts(rows) == samples
+
+    def test_rows_are_json_ready(self):
+        encoded = json.dumps(windows_to_dicts([window()]))
+        decoded = json.loads(encoded)
+        assert decoded[0]["benign_sent"] == 20
+        assert decoded[0]["success_ratio"] == pytest.approx(0.75)
+        assert decoded[0]["mean_latency"] == pytest.approx(3.0 / 18)
+
+    def test_from_dict_ignores_derived_fields(self):
+        row = window().to_dict()
+        row["success_ratio"] = 0.0  # stale derived value must not win
+        assert QoSWindow.from_dict(row) == window()

@@ -20,6 +20,7 @@ PACKAGES = [
     "repro.cloudsim",
     "repro.analysis",
     "repro.runtime",
+    "repro.service",
     "repro.experiments",
 ]
 
