@@ -20,6 +20,9 @@ defense end to end:
   backends, the shuffling coordinator, and a load-generation harness
   running the control loop over real localhost sockets
   (``repro-serve scenario``).
+- ``repro.obs`` — the unified observability layer: metrics, spans, and
+  one event schema shared by every layer above (``repro-obs`` inspects
+  the traces; see ``docs/observability.md``).
 - ``repro.experiments`` — one driver per paper table/figure
   (``python -m repro.experiments <fig3|fig4|...|fig12|headline>``).
 
@@ -41,7 +44,7 @@ from __future__ import annotations
 # (repro.sim.backend), giving sweep()/run_campaign_batch() their
 # workers=/cache_dir= paths.  This is the one place the package wires
 # the runtime layer onto sim — sim itself never imports runtime.
-from . import runtime
+from . import obs, runtime
 from .core import (
     BotEstimate,
     PLANNERS,
@@ -84,6 +87,7 @@ __all__ = [
     "even_plan",
     "expected_saved",
     "greedy_plan",
+    "obs",
     "runtime",
     "shuffle_trajectory",
     "single_replica_optimum",

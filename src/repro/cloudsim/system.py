@@ -13,6 +13,10 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs.events import EventLog
+from ..obs.instruments import Instruments
+from ..obs.metrics import MetricsRegistry
+from ..obs.spans import SpanRecorder
 from .botnet import Botnet
 from .clients import BenignClient, OnOffBot, PersistentBot
 from .coordinator import Coordinator
@@ -91,15 +95,47 @@ class CloudContext:
         self.coordinator = Coordinator(self)
         self.metrics = MetricsCollector(self, config.metrics_interval)
         self.tracer = None
+        self.instruments: Instruments | None = None
 
     def attach_tracer(self, tracer) -> None:
-        """Enable structured event tracing (see cloudsim.trace)."""
+        """Enable structured event tracing (a :class:`repro.obs.
+        EventLog`, or the deprecated ``cloudsim.trace.Tracer``)."""
         self.tracer = tracer
 
+    def attach_instruments(
+        self, instruments: Instruments | None = None
+    ) -> Instruments:
+        """Enable the unified observability layer on this context.
+
+        With no argument, builds an :class:`repro.obs.Instruments`
+        bundle whose span recorder runs on **sim-time** (``ctx.now``),
+        so spans and events line up with the DES timeline and no
+        wall-clock enters the simulation (reprolint P4).  Every
+        :meth:`trace` call then also increments the
+        ``cloudsim_events_total`` counter, and the coordinator records
+        shuffle metrics.
+        """
+        if instruments is None:
+            instruments = Instruments(
+                registry=MetricsRegistry(),
+                spans=SpanRecorder(clock=lambda: self.sim.now),
+                events=EventLog(source="cloudsim"),
+            )
+        self.instruments = instruments
+        return instruments
+
     def trace(self, kind: str, **data) -> None:
-        """Emit a trace event; a no-op unless a tracer is attached."""
+        """Emit a trace event; a no-op unless a tracer (or the
+        instruments bundle) is attached."""
         if self.tracer is not None:
             self.tracer.emit(self.now, kind, **data)
+        if self.instruments is not None:
+            self.instruments.events.emit(self.now, kind, **data)
+            self.instruments.registry.counter(
+                "cloudsim_events_total",
+                "Structured simulation events by kind.",
+                ("kind",),
+            ).inc(kind=kind)
 
     # ------------------------------------------------------------------
     @property

@@ -1,79 +1,64 @@
-"""Structured event tracing for the cloud simulation.
+"""Deprecated shim: tracing has moved to :mod:`repro.obs`.
 
-A production deployment of the paper's defense would need an audit trail:
-when was an attack detected, which replicas were recycled, how long did
-each migration take, which clients moved where.  :class:`Tracer` collects
-typed, timestamped records from the simulated components and can export
-them as JSON-lines for offline analysis.
+The structured event tracing that used to live here is now the shared
+observability layer's :class:`repro.obs.Event` / :class:`repro.obs.
+EventLog` — one schema across cloudsim, the live service, and the
+runtime.  This module keeps the historical import path and constructor
+working:
 
-Tracing is opt-in (``CloudContext.attach_tracer``) and zero-cost when
-disabled: emit sites call :meth:`CloudContext.trace`, which is a no-op
-without an attached tracer.
+- ``TraceEvent`` *is* :class:`repro.obs.Event` (the ``source`` field is
+  new and optional; without it the JSONL output is byte-identical to
+  the legacy format).
+- ``Tracer`` subclasses :class:`repro.obs.EventLog` with the legacy
+  constructor signature and emits a :class:`DeprecationWarning` on
+  construction.
+
+New code should use ``repro.obs`` directly::
+
+    from repro.obs import EventLog
+    log = EventLog(source="cloudsim")
+    system.ctx.attach_tracer(log)
 """
 
 from __future__ import annotations
 
-import json
-from dataclasses import dataclass, field
-from typing import Any, Iterator
+import warnings
+from typing import Any, Iterable
+
+from ..obs.events import Event, EventLog
 
 __all__ = ["TraceEvent", "Tracer"]
 
-
-@dataclass(frozen=True)
-class TraceEvent:
-    """One timestamped occurrence in the simulation."""
-
-    time: float
-    kind: str
-    data: dict[str, Any]
-
-    def to_json(self) -> str:
-        return json.dumps(
-            {"time": round(self.time, 6), "kind": self.kind, **self.data},
-            sort_keys=True,
-        )
+#: The canonical event record — re-exported under its historical name.
+TraceEvent = Event
 
 
-@dataclass
-class Tracer:
-    """Collects :class:`TraceEvent` records in arrival order.
+class Tracer(EventLog):
+    """Deprecated alias of :class:`repro.obs.EventLog`.
 
-    Args:
-        kinds: optional allow-list; events of other kinds are dropped at
-            the emit site (useful to trace only shuffles in long runs).
-        capacity: optional cap on retained events (oldest dropped first),
-            bounding memory in very long simulations.
+    Accepts the legacy ``(kinds, capacity, events, dropped)``
+    constructor and behaves identically; emits a
+    :class:`DeprecationWarning` pointing at the new home.
     """
 
-    kinds: frozenset[str] | None = None
-    capacity: int | None = None
-    events: list[TraceEvent] = field(default_factory=list)
-    dropped: int = 0
-
-    def emit(self, time: float, kind: str, **data: Any) -> None:
-        """Record one event (subject to the kind filter and capacity)."""
-        if self.kinds is not None and kind not in self.kinds:
-            return
-        self.events.append(TraceEvent(time=time, kind=kind, data=data))
-        if self.capacity is not None and len(self.events) > self.capacity:
-            overflow = len(self.events) - self.capacity
-            del self.events[:overflow]
-            self.dropped += overflow
-
-    def of_kind(self, kind: str) -> list[TraceEvent]:
-        """All retained events of one kind, in order."""
-        return [event for event in self.events if event.kind == kind]
-
-    def between(self, start: float, end: float) -> Iterator[TraceEvent]:
-        """Events with ``start <= time <= end``."""
-        return (
-            event for event in self.events if start <= event.time <= end
+    def __init__(
+        self,
+        kinds: frozenset[str] | None = None,
+        capacity: int | None = None,
+        events: Iterable[Event] | None = None,
+        dropped: int = 0,
+        **kwargs: Any,
+    ) -> None:
+        warnings.warn(
+            "repro.cloudsim.trace.Tracer is deprecated; use "
+            "repro.obs.EventLog (same behaviour, shared schema)",
+            DeprecationWarning,
+            stacklevel=2,
         )
-
-    def to_jsonl(self) -> str:
-        """Export every retained event as JSON-lines."""
-        return "\n".join(event.to_json() for event in self.events)
-
-    def __len__(self) -> int:
-        return len(self.events)
+        super().__init__(
+            kinds=kinds,
+            capacity=capacity,
+            events=list(events) if events is not None else [],
+            dropped=dropped,
+            **kwargs,
+        )

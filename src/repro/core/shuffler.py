@@ -20,6 +20,7 @@ from typing import Callable, Iterator, Protocol
 
 import numpy as np
 
+from ..obs.instruments import Instruments, resolve_instruments
 from .estimator import (
     BotEstimate,
     estimate_bots_mle,
@@ -157,6 +158,12 @@ class ShuffleEngine:
             replica servers."
         growth_multiplier: pool growth factor applied on saturation.
         max_replicas: optional cap on adaptive growth.
+        instruments: optional :class:`repro.obs.Instruments` handle (the
+            repo-wide ``instruments=`` convention — see CONTRIBUTING).
+            ``None`` (the default) resolves to the process-wide default,
+            normally disabled; when enabled, every :meth:`run_round`
+            records a span tree (estimate → plan → shuffle) and updates
+            the ``shuffle_*`` metric families.
     """
 
     def __init__(
@@ -168,9 +175,13 @@ class ShuffleEngine:
         adaptive_growth: bool = False,
         growth_multiplier: float = 2.0,
         max_replicas: int | None = None,
+        instruments: Instruments | None = None,
     ) -> None:
         if n_replicas < 1:
             raise ValueError(f"n_replicas={n_replicas} must be >= 1")
+        planner_name = planner if isinstance(planner, str) else getattr(
+            planner, "__name__", "custom"
+        )
         if isinstance(planner, str):
             try:
                 planner = PLANNERS[planner]
@@ -198,22 +209,65 @@ class ShuffleEngine:
         self.adaptive_growth = adaptive_growth
         self.growth_multiplier = growth_multiplier
         self.max_replicas = max_replicas
+        self.instruments = resolve_instruments(instruments)
+        self.planner_name = planner_name
         self._belief: int | None = None
 
     def run_round(self, state: ShuffleState) -> RoundResult:
         """Execute one shuffle round, mutating ``state``."""
+        obs = self.instruments
+        if obs is None:
+            return self._run_round_impl(state)
+        with obs.spans.span(
+            "shuffle_round", round=len(state.rounds)
+        ) as span:
+            result = self._run_round_impl(state)
+            span.set(
+                n_clients=result.n_clients,
+                n_attacked=result.n_attacked,
+                benign_saved=result.benign_saved,
+            )
+        obs.registry.counter(
+            "shuffle_rounds_total",
+            "Shuffle rounds executed by the counts-level engine.",
+            ("planner", "estimator"),
+        ).inc(planner=self.planner_name, estimator=self.estimator)
+        obs.registry.counter(
+            "shuffle_benign_saved_total",
+            "Benign clients saved (landed on bot-free replicas).",
+        ).inc(result.benign_saved)
+        obs.registry.gauge(
+            "shuffle_believed_bots",
+            "Bot count handed to the planner this round.",
+        ).set(result.believed_bots)
+        obs.registry.histogram(
+            "shuffle_attacked_fraction",
+            "Share of shuffling replicas attacked per round.",
+            buckets=(0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0),
+        ).observe(result.attacked_fraction)
+        return result
+
+    def _run_round_impl(self, state: ShuffleState) -> RoundResult:
+        obs = self.instruments
         n_clients = state.n_active
         true_bots = state.bots_active
         believed = self._current_belief(state)
-        plan = self.planner(n_clients, believed, self.n_replicas)
+        if obs is None:
+            plan = self.planner(n_clients, believed, self.n_replicas)
+        else:
+            with obs.spans.span("plan", believed_bots=believed):
+                plan = self.planner(n_clients, believed, self.n_replicas)
 
         sizes = plan.sizes_array
-        if true_bots > 0 and n_clients > 0:
-            bots_per_replica = self.rng.multivariate_hypergeometric(
-                sizes, true_bots
+        if obs is None:
+            bots_per_replica = self._draw_bots(
+                sizes, true_bots, n_clients
             )
         else:
-            bots_per_replica = np.zeros(sizes.size, dtype=np.int64)
+            with obs.spans.span("shuffle"):
+                bots_per_replica = self._draw_bots(
+                    sizes, true_bots, n_clients
+                )
 
         attacked = bots_per_replica > 0
         n_attacked = int(attacked.sum())
@@ -222,7 +276,13 @@ class ShuffleEngine:
         state.benign_active -= benign_saved
         state.benign_saved += benign_saved
 
-        estimate = self._observe(sizes, attacked, n_attacked)
+        if obs is None:
+            estimate = self._observe(sizes, attacked, n_attacked)
+        else:
+            with obs.spans.span("estimate") as span:
+                estimate = self._observe(sizes, attacked, n_attacked)
+                if estimate is not None:
+                    span.set(m_hat=estimate.m_hat)
         if (
             self.adaptive_growth
             and n_attacked == plan.n_replicas
@@ -249,6 +309,20 @@ class ShuffleEngine:
         )
         state.rounds.append(result)
         return result
+
+    def _draw_bots(
+        self,
+        sizes: np.ndarray,
+        true_bots: int,
+        n_clients: int,
+    ) -> np.ndarray:
+        """Multivariate-hypergeometric bot placement over plan sizes."""
+        if true_bots > 0 and n_clients > 0:
+            drawn: np.ndarray = self.rng.multivariate_hypergeometric(
+                sizes, true_bots
+            )
+            return drawn
+        return np.zeros(sizes.size, dtype=np.int64)
 
     def run(
         self,

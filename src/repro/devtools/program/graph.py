@@ -1,18 +1,20 @@
 """Import-graph builder, layering contract (rule P1), and exporters.
 
-The contract is the architecture in one table: ``core`` is the paper's
-math and may depend on nothing but the numeric stack; ``sim`` and
-``analysis`` build on ``core``; ``cloudsim`` (the DES) may use ``core``
-and ``sim``; ``runtime`` (parallel grid execution) orchestrates ``core``,
-``sim``, and ``cloudsim`` but is never imported by them — the sim layer
-reaches it only through the :mod:`repro.sim.backend` registry;
-``service`` (the live socket-level defense) builds on ``core`` for
-planning/estimation, ``sim`` for the shared QoS schema, and
-``analysis`` for convergence oracles, but never on the simulators —
-live and simulated runs must stay independently runnable;
-``experiments`` is the CLI surface and may use anything; ``devtools``
-analyzes the tree and must import none of it (so linting can never
-execute library side effects).
+The contract is the architecture in one table: ``obs`` is the shared
+observability substrate and sits below everything — stdlib only, not
+even numpy, so any layer may instrument itself without new coupling;
+``core`` is the paper's math and may depend on nothing but the numeric
+stack (and ``obs``); ``sim`` and ``analysis`` build on ``core``;
+``cloudsim`` (the DES) may use ``core`` and ``sim``; ``runtime``
+(parallel grid execution) orchestrates ``core``, ``sim``, and
+``cloudsim`` but is never imported by them — the sim layer reaches it
+only through the :mod:`repro.sim.backend` registry; ``service`` (the
+live socket-level defense) builds on ``core`` for planning/estimation,
+``sim`` for the shared QoS schema, and ``analysis`` for convergence
+oracles, but never on the simulators — live and simulated runs must
+stay independently runnable; ``experiments`` is the CLI surface and may
+use anything; ``devtools`` analyzes the tree and must import none of it
+(so linting can never execute library side effects).
 """
 
 from __future__ import annotations
@@ -27,6 +29,7 @@ from .context import ProgramContext
 __all__ = [
     "LAYER_CONTRACT",
     "CORE_EXTERNAL_ALLOWED",
+    "OBS_EXTERNAL_ALLOWED",
     "ImportEdge",
     "import_edges",
     "render_dot",
@@ -36,15 +39,16 @@ __all__ = [
 #: layer -> other layers it may import from (same layer always allowed;
 #: top-level modules such as ``repro/__init__.py`` are exempt).
 LAYER_CONTRACT: dict[str, frozenset[str]] = {
-    "core": frozenset(),
-    "sim": frozenset({"core"}),
-    "analysis": frozenset({"core"}),
-    "cloudsim": frozenset({"core", "sim"}),
-    "runtime": frozenset({"core", "sim", "cloudsim"}),
-    "service": frozenset({"core", "sim", "analysis"}),
+    "obs": frozenset(),
+    "core": frozenset({"obs"}),
+    "sim": frozenset({"core", "obs"}),
+    "analysis": frozenset({"core", "obs"}),
+    "cloudsim": frozenset({"core", "sim", "obs"}),
+    "runtime": frozenset({"core", "sim", "cloudsim", "obs"}),
+    "service": frozenset({"core", "sim", "analysis", "obs"}),
     "experiments": frozenset(
         {"core", "sim", "analysis", "cloudsim", "runtime", "service",
-         "devtools"}
+         "devtools", "obs"}
     ),
     "devtools": frozenset(),
 }
@@ -52,6 +56,10 @@ LAYER_CONTRACT: dict[str, frozenset[str]] = {
 #: the only non-stdlib packages ``core`` may touch: the paper's math is
 #: numpy + stdlib ``math``, nothing heavier.
 CORE_EXTERNAL_ALLOWED = frozenset({"numpy"})
+
+#: ``obs`` must stay importable from *any* layer, including core, so it
+#: may not pull in anything beyond the stdlib — not even numpy.
+OBS_EXTERNAL_ALLOWED: frozenset[str] = frozenset()
 
 
 @dataclass(frozen=True)
@@ -124,9 +132,10 @@ def import_edges(program: ProgramContext) -> list[ImportEdge]:
 @project_rule(
     "P1",
     "import-layering",
-    "The package layering contract (core -> stdlib/numpy only; "
-    "sim/analysis -> core; cloudsim -> core+sim; runtime -> "
-    "core+sim+cloudsim; experiments -> anything; devtools isolated) "
+    "The package layering contract (obs -> stdlib only; core -> "
+    "stdlib/numpy/obs; sim/analysis -> core; cloudsim -> core+sim; "
+    "runtime -> core+sim+cloudsim; experiments -> anything; devtools "
+    "isolated; every non-devtools layer may use obs) "
     "keeps the paper's math independently testable and the linter "
     "side-effect free; an import against the grain couples layers the "
     "architecture keeps apart.",
@@ -154,22 +163,36 @@ def check_import_layering(
                 f"`{dst_layer}` (edge {edge.src} -> {edge.dst}); allowed: "
                 f"{_describe_allowed(src_layer)}",
             )
-    # core's external dependency budget: stdlib + numpy.
+    # External dependency budgets: core gets stdlib + numpy; obs is
+    # stdlib-only so every layer (core included) can depend on it.
+    budgets = {
+        "core": (
+            CORE_EXTERNAL_ALLOWED,
+            "core/ may only depend on the stdlib and numpy, not "
+            "`{top}` — keep the algorithmic layer lightweight",
+        ),
+        "obs": (
+            OBS_EXTERNAL_ALLOWED,
+            "obs/ must stay stdlib-only (it sits below every other "
+            "layer), not `{top}`",
+        ),
+    }
     for info in program.project_modules():
-        if info.layer != "core":
+        budget = budgets.get(info.layer or "")
+        if budget is None:
             continue
+        allowed_external, message = budget
         for record in info.imports:
             if record.typing_only or program.is_internal(record.target):
                 continue
             top = record.target.split(".", 1)[0]
-            if program.is_stdlib(top) or top in CORE_EXTERNAL_ALLOWED:
+            if program.is_stdlib(top) or top in allowed_external:
                 continue
             yield (
                 info.ctx.path,
                 record.line,
                 record.col,
-                f"core/ may only depend on the stdlib and numpy, not "
-                f"`{top}` — keep the algorithmic layer lightweight",
+                message.format(top=top),
             )
 
 

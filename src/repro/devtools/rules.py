@@ -471,13 +471,15 @@ def check_paper_symbol_naming(ctx: FileContext) -> Hits:
     "Library layers report through return values and logging; print() "
     "in core/sim/cloudsim/analysis corrupts the CSV/JSON streams the "
     "experiment drivers own (experiments/ and devtools/ are the CLI "
-    "surface and exempt, as is service/cli.py — the repro-serve "
-    "entry point).",
+    "surface and exempt, as are service/cli.py and obs/cli.py — the "
+    "repro-serve and repro-obs entry points).",
 )
 def check_no_print_in_library(ctx: FileContext) -> Hits:
     if ctx.in_package("experiments") or ctx.in_package("devtools"):
         return
-    if ctx.in_package("service") and ctx.path.name == "cli.py":
+    if (
+        ctx.in_package("service") or ctx.in_package("obs")
+    ) and ctx.path.name == "cli.py":
         return
     for node in ast.walk(ctx.tree):
         if (

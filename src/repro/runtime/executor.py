@@ -45,6 +45,8 @@ from typing import Any, Callable, Iterable, Mapping, Sequence
 
 import numpy as np
 
+from ..obs.export import export_json
+from ..obs.instruments import Instruments, resolve_instruments
 from .cache import CacheEntry, ResultCache
 from .task import Task, entropy_words, task_fingerprint
 
@@ -220,11 +222,7 @@ class RunReport:
         }
 
     def write_json(self, path: Path | str) -> None:
-        Path(path).write_text(
-            json.dumps(self.to_json_dict(), indent=2, sort_keys=True)
-            + "\n",
-            encoding="utf-8",
-        )
+        export_json(self.to_json_dict(), path)
 
 
 # ----------------------------------------------------------------------
@@ -463,6 +461,7 @@ def run_tasks(
     cache: ResultCache | None = None,
     policy: RetryPolicy | None = None,
     progress: ProgressFn | None = None,
+    instruments: Instruments | None = None,
 ) -> RunReport:
     """Run every task; return outcomes in task order.
 
@@ -477,6 +476,11 @@ def run_tasks(
             no timeout).
         progress: callback invoked once per finished task (cache hits
             included), in completion order.
+        instruments: optional :class:`repro.obs.Instruments` (falls
+            back to the installed process default).  Each completion
+            increments ``runtime_tasks_total{status}`` and
+            ``runtime_task_attempts_total`` and observes the task's
+            wall time; the grid itself runs in a ``run_tasks`` span.
 
     The returned report is deterministic: identical tasks produce
     byte-identical outcome values for any ``workers`` and any mixture
@@ -486,6 +490,7 @@ def run_tasks(
     policy = policy if policy is not None else RetryPolicy()
     if workers < 1:
         raise ValueError(f"workers={workers} must be >= 1")
+    obs = resolve_instruments(instruments)
     begun = time.perf_counter()
     fingerprints = [task_fingerprint(task) for task in task_list]
     outcomes: list[TaskOutcome | None] = [None] * len(task_list)
@@ -496,6 +501,22 @@ def run_tasks(
         nonlocal done_count
         done_count += 1
         outcomes[outcome.index] = outcome
+        if obs is not None:
+            obs.registry.counter(
+                "runtime_tasks_total",
+                "Finished tasks by final status (ok/cached/failed).",
+                ("status",),
+            ).inc(status=outcome.status)
+            if outcome.attempts > 1:
+                obs.registry.counter(
+                    "runtime_task_retries_total",
+                    "Extra attempts beyond the first, across tasks.",
+                ).inc(float(outcome.attempts - 1))
+            if not outcome.cached:
+                obs.registry.histogram(
+                    "runtime_task_wall_seconds",
+                    "Per-task wall time (fresh executions only).",
+                ).observe(outcome.wall_time_s)
         if progress is not None:
             progress(outcome, done_count, total)
 
@@ -528,8 +549,20 @@ def run_tasks(
         )
 
     finished = [outcome for outcome in outcomes if outcome is not None]
-    return RunReport(
+    report = RunReport(
         outcomes=tuple(finished),
         workers=workers,
         wall_time_s=time.perf_counter() - begun,
     )
+    if obs is not None:
+        obs.registry.counter(
+            "runtime_grids_total", "Completed run_tasks grids."
+        ).inc()
+        obs.registry.counter(
+            "runtime_cache_hits_total", "Tasks served from the cache."
+        ).inc(float(report.cache_hits))
+        obs.registry.histogram(
+            "runtime_grid_wall_seconds",
+            "End-to-end wall time of one grid.",
+        ).observe(report.wall_time_s)
+    return report

@@ -26,6 +26,8 @@ import asyncio
 import time
 from typing import Callable
 
+from ..obs.instruments import Instruments
+from ..obs.metrics import Counter
 from .config import ServiceConfig
 from .tokens import SaturationMonitor, TokenBucket
 
@@ -61,6 +63,10 @@ class ReplicaBackend:
         replica_id: stable identifier (``r-<n>``), echoed in responses
             so clients and tests can observe routing.
         clock: monotonic time source, injectable for tests.
+        instruments: optional :class:`repro.obs.Instruments`; per-request
+            outcomes land in ``service_token_bucket_requests_total``
+            (the counter is bound once here so the request hot path pays
+            a single ``is not None`` check).
     """
 
     def __init__(
@@ -68,9 +74,20 @@ class ReplicaBackend:
         config: ServiceConfig,
         replica_id: str,
         clock: Callable[[], float] = time.monotonic,
+        instruments: Instruments | None = None,
     ) -> None:
         self.config = config
         self.replica_id = replica_id
+        self.instruments = instruments
+        self._requests_total: Counter | None = (
+            None
+            if instruments is None
+            else instruments.registry.counter(
+                "service_token_bucket_requests_total",
+                "Requests by replica and token-bucket outcome.",
+                ("replica", "outcome"),
+            )
+        )
         self.bucket = TokenBucket(
             rate=config.bucket_rate, burst=config.bucket_burst, clock=clock
         )
@@ -169,17 +186,27 @@ class ReplicaBackend:
         _, client_id, seq = parts
         if self.quiescing:
             self.stats.moved += 1
+            self._count("moved")
             return f"MOVED {seq}"
         if client_id not in self.whitelist:
             self.stats.denied += 1
+            self._count("denied")
             return f"DENY {seq}"
         if self.bucket.try_acquire():
             self.monitor.record(admitted=True)
             self.stats.served += 1
+            self._count("served")
             return f"OK {seq} {self.replica_id}"
         self.monitor.record(admitted=False)
         self.stats.throttled += 1
+        self._count("throttled")
         return f"THROTTLED {seq}"
+
+    def _count(self, outcome: str) -> None:
+        if self._requests_total is not None:
+            self._requests_total.inc(
+                replica=self.replica_id, outcome=outcome
+            )
 
     async def _handle(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -216,6 +243,12 @@ class ReplicaBackend:
 
     def snapshot(self) -> dict[str, object]:
         """Telemetry row for this backend."""
+        if self.instruments is not None:
+            self.instruments.registry.gauge(
+                "service_token_bucket_tokens",
+                "Tokens currently in a replica's bucket.",
+                ("replica",),
+            ).set(self.bucket.tokens, replica=self.replica_id)
         total, throttled = self.monitor.counts()
         return {
             "replica_id": self.replica_id,

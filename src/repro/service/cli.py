@@ -21,6 +21,7 @@ from typing import Sequence
 
 from .budget import shuffle_budget
 from .config import ServiceConfig
+from ..obs.instruments import Instruments
 from .coordinator import ServiceCoordinator
 from .harness import run_scenario_sync
 from .loadgen import LoadConfig
@@ -58,6 +59,11 @@ def build_parser() -> argparse.ArgumentParser:
     scenario.add_argument(
         "--load-seed", type=int, default=LoadConfig.seed,
         help="load-generator RNG seed",
+    )
+    scenario.add_argument(
+        "--telemetry-port", type=int, default=None,
+        help="serve live metrics while the scenario runs "
+        "(Prometheus text at /metrics, JSON snapshot elsewhere)",
     )
     scenario.add_argument(
         "--json", metavar="FILE",
@@ -120,7 +126,7 @@ def _population_args(parser: argparse.ArgumentParser) -> None:
 def _cmd_scenario(options: argparse.Namespace) -> int:
     service_config = ServiceConfig(
         n_replicas=options.replicas, seed=options.seed,
-        telemetry_port=None,
+        telemetry_port=options.telemetry_port,
     )
     load_config = LoadConfig(
         n_benign=options.clients, n_bots=options.bots,
@@ -179,16 +185,21 @@ async def _serve_forever(options: argparse.Namespace) -> int:
         telemetry_port=options.telemetry_port,
         seed=options.seed,
     )
-    coordinator = ServiceCoordinator(config)
+    instruments = Instruments.create(source="service")
+    coordinator = ServiceCoordinator(config, instruments=instruments)
     await coordinator.start()
     telemetry = TelemetryServer(
         coordinator.snapshot, host=config.host,
         port=options.telemetry_port,
+        registry=instruments.registry,
     )
     await telemetry.start()
     host, port = coordinator.control_address
     print(f"repro-serve: control channel on {host}:{port}")
     print(f"repro-serve: telemetry on http://{host}:{telemetry.port}/")
+    print(
+        f"repro-serve: prometheus on http://{host}:{telemetry.port}/metrics"
+    )
     try:
         while True:
             await asyncio.sleep(3600)

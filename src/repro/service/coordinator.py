@@ -42,6 +42,7 @@ import asyncio
 import json
 import math
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -54,6 +55,7 @@ from ..core.estimator import (
 )
 from ..core.plan import ShufflePlan
 from ..core.plan_cache import PlanCache
+from ..obs.instruments import Instruments, resolve_instruments
 from .backend import ReplicaBackend
 from .config import ServiceConfig
 from .pool import ReplicaPool
@@ -119,6 +121,12 @@ class ServiceCoordinator:
         max_shuffles: hard round cap (see :mod:`repro.service.budget`);
             ``None`` means uncapped.
         clock: monotonic time source shared with the pool.
+        instruments: optional :class:`repro.obs.Instruments` (falls back
+            to the installed process default).  Enables the span tree
+            per shuffle round (estimate → plan → shuffle → substitute),
+            the shuffle/detection counters, and the per-replica
+            token-bucket series; the bundle is shared with the pool and
+            every backend it spawns.
     """
 
     def __init__(
@@ -126,11 +134,15 @@ class ServiceCoordinator:
         config: ServiceConfig,
         max_shuffles: int | None = None,
         clock: Callable[[], float] = time.monotonic,
+        instruments: Instruments | None = None,
     ) -> None:
         self.config = config
         self.max_shuffles = max_shuffles
         self._clock = clock
-        self.pool = ReplicaPool(config, clock=clock)
+        self.instruments = resolve_instruments(instruments)
+        self.pool = ReplicaPool(
+            config, clock=clock, instruments=self.instruments
+        )
         self.plan_cache = PlanCache(
             n_replicas=config.n_replicas,
             client_grid=config.plan_client_grid,
@@ -274,8 +286,14 @@ class ServiceCoordinator:
     # detection loop
     # ------------------------------------------------------------------
     async def _detect_loop(self) -> None:
+        obs = self.instruments
         while self._running:
             await asyncio.sleep(self.config.detection_interval)
+            if obs is not None:
+                obs.registry.counter(
+                    "service_detection_sweeps_total",
+                    "Detection sweeps of the control loop.",
+                ).inc()
             if self._shuffle_in_progress:
                 continue
             # Quarantined replicas are expected to stay flooded — only
@@ -365,60 +383,128 @@ class ServiceCoordinator:
     # ------------------------------------------------------------------
     async def _shuffle(self, attacked: list[ReplicaBackend]) -> None:
         self._shuffle_in_progress = True
+        obs = self.instruments
         try:
-            started = self._clock()
-            attacked_ids = tuple(b.replica_id for b in attacked)
-            # Canonical client order before the permutation below: the
-            # shuffle must not depend on whitelist-set iteration history.
-            clients = sorted(
-                cid for b in attacked for cid in b.whitelist
-            )
-            n_clients = len(clients)
+            if obs is None:
+                await self._shuffle_impl(attacked, None)
+                return
+            before = self.shuffles_completed
+            with obs.spans.span(
+                "shuffle_round", n_attacked=len(attacked)
+            ) as span:
+                await self._shuffle_impl(attacked, obs)
+                span.set(completed=self.shuffles_completed > before)
+            if self.shuffles_completed > before:
+                record = self.shuffles[-1]
+                obs.registry.counter(
+                    "service_shuffle_rounds_total",
+                    "Completed live shuffle rounds by estimator.",
+                    ("estimator",),
+                ).inc(estimator=record.estimator)
+                completed_at = (
+                    record.completed_at
+                    if record.completed_at is not None
+                    else record.started_at
+                )
+                obs.registry.histogram(
+                    "service_shuffle_duration_seconds",
+                    "Wall-clock duration of one live shuffle round.",
+                    buckets=(0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 15.0),
+                ).observe(completed_at - record.started_at)
+            if self.believed_bots is not None:
+                obs.registry.gauge(
+                    "service_believed_bots",
+                    "Coordinator's sticky bot-count belief.",
+                ).set(float(self.believed_bots))
+            obs.registry.gauge(
+                "service_quarantine_replicas",
+                "Replicas pinned in the quarantine set.",
+            ).set(float(len(self.quarantine_replicas)))
+        finally:
+            self._shuffle_in_progress = False
+
+    async def _shuffle_impl(
+        self,
+        attacked: list[ReplicaBackend],
+        obs: Instruments | None,
+    ) -> None:
+        spans = obs.spans if obs is not None else None
+        started = self._clock()
+        attacked_ids = tuple(b.replica_id for b in attacked)
+        # Canonical client order before the permutation below: the
+        # shuffle must not depend on whitelist-set iteration history.
+        clients = sorted(
+            cid for b in attacked for cid in b.whitelist
+        )
+        n_clients = len(clients)
+        with (
+            spans.span("estimate") if spans is not None else nullcontext()
+        ) as span:
             believed, estimator = self._estimate(attacked_ids, n_clients)
+            if span is not None:
+                span.set(believed=believed, estimator=estimator)
 
-            if n_clients == 0:
-                # Flooded but empty replicas: substitute, nothing to plan.
-                replacements = await self.pool.substitute(list(attacked_ids))
-                self.shuffles.append(LiveShuffleRecord(
-                    started_at=started, completed_at=self._clock(),
-                    attacked_replicas=attacked_ids, n_clients=0,
-                    n_attacked=len(attacked_ids), estimated_bots=believed,
-                    estimator=estimator, group_sizes=(),
-                    new_replicas=tuple(
-                        b.replica_id for b in replacements
-                    ),
-                ))
-                return
-
-            # Plan across the full shuffle width, not just the attacked
-            # count: with one attacked replica and one replacement there
-            # is nowhere to separate bots from benign.  Replicas whose
-            # planned group is empty are never booted, and only the
-            # attacked instances retire, so the pool grows elastically
-            # during an attack (clean replicas accumulate saved clients)
-            # — the paper's scale-out-under-attack behaviour.
-            width = min(self.config.n_replicas, n_clients)
-            if (
-                2 * believed >= n_clients
-                and 2 <= n_clients
-                <= self.DISPERSE_MAX_FACTOR * self.config.n_replicas
+        if n_clients == 0:
+            # Flooded but empty replicas: substitute, nothing to plan.
+            with (
+                spans.span("substitute")
+                if spans is not None
+                else nullcontext()
             ):
-                # Endgame dispersion: the subset is small and believed
-                # mostly bots — give every remaining client a replica
-                # of their own.  One singleton round separates every
-                # benign straggler from every bot exactly, instead of
-                # grinding out fractional E[S] with mixed groups.
-                width = n_clients
-            plan = self.plan_cache(n_clients, believed, width)
-            if plan.expected_saved < self.QUARANTINE_EXPECTED_SAVED:
-                # Equation 1 says no further shuffle of *these* clients
-                # saves anyone: the population is believed all-bot (the
-                # common case is a single bot isolated on its own
-                # replica).  Quarantine the replicas — leave the bots
-                # flooding them — and keep watching the rest.
-                self.quarantine_replicas.update(attacked_ids)
-                return
+                replacements = await self.pool.substitute(
+                    list(attacked_ids)
+                )
+            self.shuffles.append(LiveShuffleRecord(
+                started_at=started, completed_at=self._clock(),
+                attacked_replicas=attacked_ids, n_clients=0,
+                n_attacked=len(attacked_ids), estimated_bots=believed,
+                estimator=estimator, group_sizes=(),
+                new_replicas=tuple(
+                    b.replica_id for b in replacements
+                ),
+            ))
+            return
 
+        # Plan across the full shuffle width, not just the attacked
+        # count: with one attacked replica and one replacement there
+        # is nowhere to separate bots from benign.  Replicas whose
+        # planned group is empty are never booted, and only the
+        # attacked instances retire, so the pool grows elastically
+        # during an attack (clean replicas accumulate saved clients)
+        # — the paper's scale-out-under-attack behaviour.
+        width = min(self.config.n_replicas, n_clients)
+        if (
+            2 * believed >= n_clients
+            and 2 <= n_clients
+            <= self.DISPERSE_MAX_FACTOR * self.config.n_replicas
+        ):
+            # Endgame dispersion: the subset is small and believed
+            # mostly bots — give every remaining client a replica
+            # of their own.  One singleton round separates every
+            # benign straggler from every bot exactly, instead of
+            # grinding out fractional E[S] with mixed groups.
+            width = n_clients
+        with (
+            spans.span("plan") if spans is not None else nullcontext()
+        ) as span:
+            plan = self.plan_cache(n_clients, believed, width)
+            if span is not None:
+                span.set(
+                    algorithm=plan.algorithm,
+                    expected_saved=plan.expected_saved,
+                )
+        if plan.expected_saved < self.QUARANTINE_EXPECTED_SAVED:
+            # Equation 1 says no further shuffle of *these* clients
+            # saves anyone: the population is believed all-bot (the
+            # common case is a single bot isolated on its own
+            # replica).  Quarantine the replicas — leave the bots
+            # flooding them — and keep watching the rest.
+            self.quarantine_replicas.update(attacked_ids)
+            return
+
+        with (
+            spans.span("shuffle") if spans is not None else nullcontext()
+        ):
             sizes = plan.nonempty_sizes()
             replacements = [await self.pool.spawn() for _ in sizes]
             order = [
@@ -432,25 +518,28 @@ class ServiceCoordinator:
                     backend.admit(client_id)
                     self.assignments[client_id] = backend.replica_id
             assert cursor == n_clients, "plan sizes must cover every client"
-            # Old instances close only after every client is rebound, so
-            # a MOVED straggler always finds its new home via WHERE.
+        # Old instances close only after every client is rebound, so
+        # a MOVED straggler always finds its new home via WHERE.
+        with (
+            spans.span("substitute")
+            if spans is not None
+            else nullcontext()
+        ):
             for replica_id in attacked_ids:
                 await self.pool.retire(replica_id)
 
-            record = LiveShuffleRecord(
-                started_at=started, completed_at=self._clock(),
-                attacked_replicas=attacked_ids, n_clients=n_clients,
-                n_attacked=len(attacked_ids), estimated_bots=believed,
-                estimator=estimator, group_sizes=plan.group_sizes,
-                new_replicas=tuple(b.replica_id for b in replacements),
-                algorithm=plan.algorithm,
-            )
-            self.shuffles.append(record)
-            self._last_plan = _LastPlan(
-                plan=plan, replica_ids=record.new_replicas
-            )
-        finally:
-            self._shuffle_in_progress = False
+        record = LiveShuffleRecord(
+            started_at=started, completed_at=self._clock(),
+            attacked_replicas=attacked_ids, n_clients=n_clients,
+            n_attacked=len(attacked_ids), estimated_bots=believed,
+            estimator=estimator, group_sizes=plan.group_sizes,
+            new_replicas=tuple(b.replica_id for b in replacements),
+            algorithm=plan.algorithm,
+        )
+        self.shuffles.append(record)
+        self._last_plan = _LastPlan(
+            plan=plan, replica_ids=record.new_replicas
+        )
 
     # ------------------------------------------------------------------
     # telemetry

@@ -13,6 +13,7 @@ import asyncio
 import time
 from dataclasses import dataclass, field
 
+from ..obs.instruments import Instruments
 from ..sim.qos import QoSWindow, windows_to_dicts
 from .budget import shuffle_budget
 from .config import ServiceConfig
@@ -93,6 +94,7 @@ async def run_scenario(
     duration: float = 60.0,
     target_fraction: float = 0.95,
     settle: float = 2.0,
+    instruments: Instruments | None = None,
 ) -> ScenarioReport:
     """Run one live attack scenario end to end.
 
@@ -101,6 +103,11 @@ async def run_scenario(
     post-convergence observation) or the wall-clock ``duration`` runs
     out.  The shuffle budget handed to the coordinator is the oracle
     prediction of :mod:`repro.analysis.convergence` with slack.
+
+    When telemetry is enabled (``telemetry_port`` set) the scenario
+    always carries an :class:`repro.obs.Instruments` bundle — built
+    here unless one is passed in — so the endpoint's ``/metrics`` has
+    shuffle-round and token-bucket series to serve.
     """
     budget = shuffle_budget(
         benign=load_config.n_benign,
@@ -108,7 +115,11 @@ async def run_scenario(
         n_replicas=service_config.n_replicas,
         target_fraction=target_fraction,
     )
-    coordinator = ServiceCoordinator(service_config, max_shuffles=budget)
+    if instruments is None and service_config.telemetry_port is not None:
+        instruments = Instruments.create(source="service")
+    coordinator = ServiceCoordinator(
+        service_config, max_shuffles=budget, instruments=instruments
+    )
     await coordinator.start()
     telemetry: TelemetryServer | None = None
     if service_config.telemetry_port is not None:
@@ -116,6 +127,9 @@ async def run_scenario(
             coordinator.snapshot,
             host=service_config.host,
             port=service_config.telemetry_port,
+            registry=(
+                instruments.registry if instruments is not None else None
+            ),
         )
         await telemetry.start()
     load = LoadGenerator(

@@ -14,6 +14,7 @@ from __future__ import annotations
 import time
 from typing import Callable
 
+from ..obs.instruments import Instruments
 from .backend import ReplicaBackend
 from .config import ServiceConfig
 
@@ -33,9 +34,11 @@ class ReplicaPool:
         self,
         config: ServiceConfig,
         clock: Callable[[], float] = time.monotonic,
+        instruments: Instruments | None = None,
     ) -> None:
         self.config = config
         self._clock = clock
+        self.instruments = instruments
         self._counter = 0
         self.backends: dict[str, ReplicaBackend] = {}
         self.retired: dict[str, ReplicaBackend] = {}
@@ -45,9 +48,19 @@ class ReplicaPool:
         """Boot one fresh backend at a never-advertised port."""
         self._counter += 1
         replica_id = f"r-{self._counter}"
-        backend = ReplicaBackend(self.config, replica_id, clock=self._clock)
+        backend = ReplicaBackend(
+            self.config,
+            replica_id,
+            clock=self._clock,
+            instruments=self.instruments,
+        )
         await backend.start(port=0)
         self.backends[replica_id] = backend
+        if self.instruments is not None:
+            self.instruments.registry.counter(
+                "service_replicas_spawned_total",
+                "Backends booted over the pool's lifetime.",
+            ).inc()
         return backend
 
     async def start(self) -> list[ReplicaBackend]:
@@ -64,6 +77,11 @@ class ReplicaPool:
         backend.quiesce()
         await backend.stop()
         self.retired[replica_id] = backend
+        if self.instruments is not None:
+            self.instruments.registry.counter(
+                "service_replicas_retired_total",
+                "Backends retired (their ports went dark).",
+            ).inc()
 
     async def substitute(self, replica_ids: list[str]) -> list[ReplicaBackend]:
         """Replace each named replica with a fresh-port substitute.

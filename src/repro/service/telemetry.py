@@ -1,33 +1,49 @@
-"""JSON telemetry for the live service.
+"""JSON + Prometheus telemetry for the live service.
 
-A deliberately tiny HTTP/1.0 endpoint (``curl http://host:port/metrics``
-works) serving the coordinator's :meth:`snapshot` — enough to watch a
-live run converge without attaching a debugger — plus file-export
-helpers that write the same JSON, and QoS windows in the shared
-:mod:`repro.sim.qos` schema, for offline comparison against cloudsim
-timelines (see ``docs/live-vs-sim.md``).
+A deliberately tiny HTTP/1.0 endpoint — enough to watch a live run
+converge without attaching a debugger:
+
+- any path but ``/metrics`` (e.g. ``curl http://host:port/``) serves the
+  coordinator's :meth:`snapshot` as JSON (the historical behaviour);
+- ``GET /metrics`` serves the attached :class:`repro.obs.
+  MetricsRegistry` in Prometheus text exposition format, so a stock
+  Prometheus scraper can watch shuffle rounds and token buckets live.
+
+The file-export helpers that used to live here are deprecated shims
+over :func:`repro.obs.export_json` — one writer for the whole repo.
 """
 
 from __future__ import annotations
 
 import asyncio
 import json
+import warnings
 from pathlib import Path
 from typing import Callable, Iterable
 
+from ..obs.export import (
+    PROMETHEUS_CONTENT_TYPE,
+    export_json,
+    render_prometheus,
+)
+from ..obs.metrics import MetricsRegistry
 from ..sim.qos import QoSWindow, windows_to_dicts
 
 __all__ = ["TelemetryServer", "export_snapshot", "export_windows"]
 
 
 class TelemetryServer:
-    """Serve a snapshot callable as JSON over HTTP.
+    """Serve a snapshot callable (and optionally a metrics registry)
+    over HTTP.
 
     Args:
         snapshot: zero-argument callable returning a JSON-ready dict
             (typically ``coordinator.snapshot``).
         host: bind interface.
         port: bind port (0 = ephemeral).
+        registry: optional :class:`repro.obs.MetricsRegistry`; when
+            given, ``GET /metrics`` renders it in Prometheus text
+            format (every other path keeps serving the JSON snapshot).
     """
 
     def __init__(
@@ -35,10 +51,12 @@ class TelemetryServer:
         snapshot: Callable[[], dict],
         host: str = "127.0.0.1",
         port: int = 0,
+        registry: MetricsRegistry | None = None,
     ) -> None:
         self._snapshot = snapshot
         self.host = host
         self.port: int | None = port
+        self.registry = registry
         self._server: asyncio.base_events.Server | None = None
 
     async def start(self) -> None:
@@ -64,11 +82,18 @@ class TelemetryServer:
     ) -> None:
         try:
             # One-shot exchange: read the request head, answer, close.
-            await reader.readline()
-            body = json.dumps(self._snapshot()).encode("utf-8")
+            request = await reader.readline()
+            parts = request.decode("ascii", "replace").split()
+            path = parts[1] if len(parts) >= 2 else "/"
+            if path == "/metrics" and self.registry is not None:
+                body = render_prometheus(self.registry).encode("utf-8")
+                content_type = PROMETHEUS_CONTENT_TYPE
+            else:
+                body = json.dumps(self._snapshot()).encode("utf-8")
+                content_type = "application/json"
             writer.write(
                 b"HTTP/1.0 200 OK\r\n"
-                b"Content-Type: application/json\r\n"
+                + f"Content-Type: {content_type}\r\n".encode("ascii")
                 + f"Content-Length: {len(body)}\r\n\r\n".encode("ascii")
                 + body
             )
@@ -84,20 +109,18 @@ class TelemetryServer:
 
 
 def export_snapshot(snapshot: dict, path: str | Path) -> Path:
-    """Write one coordinator snapshot as pretty JSON."""
-    target = Path(path)
-    target.write_text(
-        json.dumps(snapshot, indent=2, sort_keys=True) + "\n",
-        encoding="utf-8",
+    """Deprecated: use :func:`repro.obs.export_json` (same output)."""
+    warnings.warn(
+        "repro.service.telemetry.export_snapshot is deprecated; use "
+        "repro.obs.export_json",
+        DeprecationWarning,
+        stacklevel=2,
     )
-    return target
+    return export_json(snapshot, path)
 
 
 def export_windows(windows: Iterable[QoSWindow], path: str | Path) -> Path:
     """Write QoS windows in the shared sim/live comparison schema."""
-    target = Path(path)
-    target.write_text(
-        json.dumps(windows_to_dicts(list(windows)), indent=2) + "\n",
-        encoding="utf-8",
+    return export_json(
+        windows_to_dicts(list(windows)), path, sort_keys=False
     )
-    return target

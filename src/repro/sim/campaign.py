@@ -23,6 +23,7 @@ from typing import Any, Callable, Sequence
 import numpy as np
 
 from ..core.shuffler import ShuffleEngine
+from ..obs.instruments import Instruments, resolve_instruments
 from .backend import get_backend
 from .stats import SampleSummary, summarize
 
@@ -112,6 +113,8 @@ def run_campaign(
     seed: int | np.random.SeedSequence = 0,
     planner: str = "greedy",
     estimator: str = "oracle",
+    *,
+    instruments: Instruments | None = None,
 ) -> CampaignResult:
     """Simulate every wave and account for replica-hours.
 
@@ -126,6 +129,7 @@ def run_campaign(
         if isinstance(seed, np.random.SeedSequence)
         else np.random.SeedSequence(seed)
     )
+    obs = resolve_instruments(instruments)
     outcomes = []
     mitigation_hours_total = 0.0
     for wave, child in zip(config.waves, rng_seq.spawn(len(config.waves))):
@@ -145,6 +149,16 @@ def run_campaign(
             len(state.rounds) * config.shuffle_seconds / 3600.0
         )
         mitigation_hours_total += mitigation_hours
+        if obs is not None:
+            obs.registry.counter(
+                "sim_campaign_waves_total",
+                "Attack waves simulated across campaigns.",
+            ).inc()
+            obs.registry.histogram(
+                "sim_campaign_wave_shuffles",
+                "Shuffle rounds needed to absorb one attack wave.",
+                buckets=(1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0),
+            ).observe(float(len(state.rounds)))
         outcomes.append(
             WaveOutcome(
                 wave=wave,

@@ -26,6 +26,7 @@ from typing import Any, Callable, Sequence
 
 import numpy as np
 
+from ..obs.instruments import Instruments, resolve_instruments
 from .backend import get_backend
 from .shuffle_sim import ScenarioResult, ShuffleScenario, run_scenario
 
@@ -63,6 +64,7 @@ def sweep(
     workers: int = 1,
     cache_dir: Path | str | None = None,
     progress: Callable[..., Any] | None = None,
+    instruments: Instruments | None = None,
 ) -> list[dict[str, object]]:
     """Run every scenario and return one flat record per scenario.
 
@@ -90,6 +92,10 @@ def sweep(
             cells checkpoint there and interrupted sweeps resume from it.
         progress: per-cell completion callback, forwarded to
             :func:`repro.runtime.executor.run_tasks`.
+        instruments: optional :class:`repro.obs.Instruments`; when
+            enabled (or a process default is installed) each completed
+            cell increments ``sim_sweep_cells_total`` and runs inside a
+            ``sweep_cell`` span.  ``None`` with no default = zero cost.
     """
     backend = get_backend("sweep")
     if backend is not None:
@@ -109,15 +115,34 @@ def sweep(
             "parallel/cached sweeps need the repro.runtime backend; "
             "`import repro` registers it"
         )
+    obs = resolve_instruments(instruments)
     children = np.random.SeedSequence(seed).spawn(len(scenarios))
     records = []
-    for scenario, child in zip(scenarios, children):
-        result = run_scenario(
-            scenario,
-            repetitions=repetitions,
-            seed=child,
-            confidence=confidence,
-        )
+    for index, (scenario, child) in enumerate(zip(scenarios, children)):
+        if obs is None:
+            result = run_scenario(
+                scenario,
+                repetitions=repetitions,
+                seed=child,
+                confidence=confidence,
+            )
+        else:
+            with obs.spans.span(
+                "sweep_cell", index=index, planner=scenario.planner
+            ):
+                result = run_scenario(
+                    scenario,
+                    repetitions=repetitions,
+                    seed=child,
+                    confidence=confidence,
+                )
+            obs.registry.counter(
+                "sim_sweep_cells_total",
+                "Completed sweep grid cells.",
+                ("planner", "estimator"),
+            ).inc(
+                planner=scenario.planner, estimator=scenario.estimator
+            )
         records.append(record_from_result(result))
     return records
 

@@ -1,4 +1,10 @@
-"""Tests for the structured tracing facility."""
+"""Tests for the structured tracing facility.
+
+``cloudsim.trace`` is now a deprecated shim over ``repro.obs``; these
+tests keep the legacy surface working verbatim, so the shim's
+DeprecationWarning is expected and silenced module-wide (the warning
+itself is asserted in ``tests/obs/test_obs_events.py``).
+"""
 
 from __future__ import annotations
 
@@ -8,6 +14,8 @@ import pytest
 
 from repro.cloudsim.system import CloudConfig, CloudDefenseSystem
 from repro.cloudsim.trace import TraceEvent, Tracer
+
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
 
 
 class TestTracer:

@@ -114,6 +114,53 @@ class TestP1ImportLayering:
         )
         assert hits(tree, ["P1"]) == ["P1 model.py:1"]
 
+    def test_every_layer_may_import_obs(self, tmp_path):
+        tree = build_tree(
+            tmp_path,
+            PKG
+            | {
+                "repro/obs/__init__.py": "",
+                "repro/obs/metrics.py": (
+                    "class MetricsRegistry:\n    pass\n"
+                ),
+                "repro/core/alg.py": (
+                    "from repro.obs.metrics import MetricsRegistry\n"
+                ),
+                "repro/sim/model.py": (
+                    "from repro.obs.metrics import MetricsRegistry\n"
+                ),
+                "repro/cloudsim/comp.py": (
+                    "from repro.obs.metrics import MetricsRegistry\n"
+                ),
+            },
+        )
+        assert hits(tree, ["P1"]) == []
+
+    def test_obs_importing_other_layers_violates(self, tmp_path):
+        tree = build_tree(
+            tmp_path,
+            PKG
+            | {
+                "repro/obs/__init__.py": "",
+                "repro/core/alg.py": "def f() -> int:\n    return 1\n",
+                "repro/obs/metrics.py": "from repro.core.alg import f\n",
+            },
+        )
+        assert hits(tree, ["P1"]) == ["P1 metrics.py:1"]
+
+    def test_obs_external_budget_is_stdlib_only(self, tmp_path):
+        tree = build_tree(
+            tmp_path,
+            PKG
+            | {
+                "repro/obs/__init__.py": "",
+                "repro/obs/metrics.py": (
+                    "import json\nimport math\nimport numpy\n"
+                ),
+            },
+        )
+        assert hits(tree, ["P1"]) == ["P1 metrics.py:3"]
+
 
 class TestP2RngProvenance:
     def test_seed_forwarding_helper_called_without_seed(self, tmp_path):

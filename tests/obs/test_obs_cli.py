@@ -1,0 +1,124 @@
+"""Tests for the ``repro-obs`` trace inspector CLI."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.core import ShuffleEngine
+from repro.obs import Event, EventLog, Instruments, export_jsonl
+from repro.obs.cli import diff_counts, main, summarize_events
+
+
+def write_trace(tmp_path, name, events):
+    return str(export_jsonl(events, tmp_path / name))
+
+
+def sample_events():
+    return [
+        Event(time=0.0, kind="attack_detected", data={"n": 2}),
+        Event(time=1.0, kind="shuffle_started", data={}),
+        Event(time=4.0, kind="shuffle_completed", data={"duration": 3.0}),
+        Event(time=5.0, kind="span",
+              data={"span_id": 1, "name": "round", "duration": 0.5}),
+    ]
+
+
+class TestSummarize:
+    def test_table_output(self, tmp_path, capsys):
+        trace = write_trace(tmp_path, "t.jsonl", sample_events())
+        assert main(["summarize", trace]) == 0
+        out = capsys.readouterr().out
+        assert "4 events" in out
+        assert "attack_detected" in out
+        assert "time range: 0.000000 .. 5.000000" in out
+        assert "round" in out  # span stats section
+
+    def test_json_output_machine_readable(self, tmp_path, capsys):
+        trace = write_trace(tmp_path, "t.jsonl", sample_events())
+        assert main(["summarize", trace, "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["events"] == 4
+        assert summary["kinds"]["shuffle_completed"] == 1
+        assert summary["spans"]["round"]["count"] == 1
+
+    def test_missing_file_exits_cleanly(self, tmp_path):
+        with pytest.raises(SystemExit, match="no such trace file"):
+            main(["summarize", str(tmp_path / "absent.jsonl")])
+
+    def test_summarize_recorded_fig8_trace(self, tmp_path, capsys):
+        """End to end: record a (scaled-down) fig8-style shuffle run
+        through the obs layer, export JSONL, summarize via the CLI."""
+        bundle = Instruments.create(source="core")
+        engine = ShuffleEngine(
+            n_replicas=50,
+            planner="greedy",
+            rng=np.random.default_rng(0),
+            instruments=bundle,
+        )
+        state = engine.run(
+            benign=1_000, bots=500, target_fraction=0.8, max_rounds=200
+        )
+        trace = write_trace(
+            tmp_path, "fig8.jsonl", list(bundle.spans.to_events())
+        )
+        assert main(["summarize", trace, "--json"]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["spans"]["shuffle_round"]["count"] == len(
+            state.rounds
+        )
+        assert summary["spans"]["plan"]["count"] == len(state.rounds)
+
+
+class TestDiff:
+    def test_identical_traces_exit_zero(self, tmp_path, capsys):
+        left = write_trace(tmp_path, "a.jsonl", sample_events())
+        right = write_trace(tmp_path, "b.jsonl", sample_events())
+        assert main(["diff", left, right]) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_differing_counts_exit_one(self, tmp_path, capsys):
+        left = write_trace(tmp_path, "a.jsonl", sample_events())
+        right = write_trace(tmp_path, "b.jsonl", sample_events()[:2])
+        assert main(["diff", left, right]) == 1
+        out = capsys.readouterr().out
+        assert "shuffle_completed" in out
+        assert "(-1)" in out
+
+    def test_diff_counts_helper(self):
+        left = [Event(time=0.0, kind="a"), Event(time=1.0, kind="b")]
+        right = [Event(time=0.0, kind="a"), Event(time=1.0, kind="c")]
+        assert diff_counts(left, right) == {"b": (1, 0), "c": (0, 1)}
+
+
+class TestTail:
+    def test_last_n_events_in_order(self, tmp_path, capsys):
+        trace = write_trace(tmp_path, "t.jsonl", sample_events())
+        assert main(["tail", trace, "-n", "2"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert len(lines) == 2
+        assert "shuffle_completed" in lines[0]
+        assert "span" in lines[1]
+
+    def test_kind_filter(self, tmp_path, capsys):
+        trace = write_trace(tmp_path, "t.jsonl", sample_events())
+        assert main(["tail", trace, "--kind", "shuffle_started"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert len(lines) == 1
+        assert "shuffle_started" in lines[0]
+
+
+class TestSummarizeHelper:
+    def test_empty_trace(self):
+        summary = summarize_events([])
+        assert summary["events"] == 0
+        assert summary["time_range"] is None
+
+    def test_sources_counted(self):
+        log = EventLog(source="service")
+        log.emit(1.0, "tick")
+        log.emit(2.0, "tick")
+        summary = summarize_events(log.events)
+        assert summary["sources"] == {"service": 2}

@@ -1,0 +1,115 @@
+"""Tests for the uniform ``instruments=`` handle and no-op semantics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import ShuffleEngine
+from repro.obs import (
+    Instruments,
+    get_default_instruments,
+    resolve_instruments,
+    set_default_instruments,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_default():
+    """Never leak a process-wide default across tests."""
+    previous = set_default_instruments(None)
+    yield
+    set_default_instruments(previous)
+
+
+class TestResolution:
+    def test_disabled_by_default(self):
+        assert resolve_instruments(None) is None
+        assert get_default_instruments() is None
+
+    def test_explicit_handle_wins_over_default(self):
+        default = Instruments.create()
+        explicit = Instruments.create()
+        set_default_instruments(default)
+        assert resolve_instruments(explicit) is explicit
+        assert resolve_instruments(None) is default
+
+    def test_set_default_returns_previous_for_restore(self):
+        first = Instruments.create()
+        assert set_default_instruments(first) is None
+        second = Instruments.create()
+        assert set_default_instruments(second) is first
+        assert set_default_instruments(None) is second
+
+
+class TestDisabledNoOp:
+    """``instruments=None`` must leave zero observable footprint."""
+
+    def test_engine_defaults_to_disabled(self):
+        engine = ShuffleEngine(n_replicas=10)
+        assert engine.instruments is None
+
+    def test_disabled_run_records_nothing_anywhere(self):
+        engine = ShuffleEngine(
+            n_replicas=20, rng=np.random.default_rng(7)
+        )
+        engine.run(benign=200, bots=50, max_rounds=10)
+        assert get_default_instruments() is None
+
+    def test_disabled_and_enabled_runs_are_identical(self):
+        def trajectory(instruments):
+            engine = ShuffleEngine(
+                n_replicas=20,
+                rng=np.random.default_rng(7),
+                instruments=instruments,
+            )
+            state = engine.run(benign=200, bots=50, max_rounds=30)
+            return [round_.benign_saved for round_ in state.rounds]
+
+        plain = trajectory(None)
+        instrumented = trajectory(Instruments.create())
+        assert plain == instrumented
+
+    def test_default_install_enables_engines_built_later(self):
+        bundle = Instruments.create(source="core")
+        set_default_instruments(bundle)
+        engine = ShuffleEngine(
+            n_replicas=20, rng=np.random.default_rng(7)
+        )
+        state = engine.run(benign=200, bots=50, max_rounds=30)
+        rounds = bundle.registry.counter("shuffle_rounds_total").value(
+            planner="greedy", estimator="oracle"
+        )
+        assert rounds == len(state.rounds)
+        assert len(bundle.spans.named("shuffle_round")) == len(state.rounds)
+
+
+class TestEnabledChannels:
+    def test_span_tree_per_round(self):
+        bundle = Instruments.create()
+        engine = ShuffleEngine(
+            n_replicas=20,
+            rng=np.random.default_rng(3),
+            instruments=bundle,
+        )
+        engine.run(benign=100, bots=30, max_rounds=5)
+        roots = bundle.spans.roots()
+        assert roots, "expected at least one shuffle_round span"
+        child_names = {
+            span.name
+            for root in roots
+            for span in bundle.spans.children_of(root)
+        }
+        assert child_names <= {"estimate", "plan", "shuffle"}
+        assert "plan" in child_names
+        assert "shuffle" in child_names
+
+    def test_export_state_is_json_ready(self):
+        import json
+
+        bundle = Instruments.create(source="test")
+        bundle.emit(1.0, "tick", n=1)
+        with bundle.spans.span("op"):
+            pass
+        bundle.registry.counter("c_total", "C.").inc()
+        json.dumps(bundle.export_state())

@@ -1,0 +1,127 @@
+"""Tests for repro.obs.metrics: counters, gauges, histograms, registry."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import DEFAULT_BUCKETS, Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        registry = MetricsRegistry()
+        counter = registry.counter("requests_total", "Requests.")
+        assert counter.value() == 0.0
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value() == 3.5
+
+    def test_rejects_negative_increment(self):
+        counter = MetricsRegistry().counter("n_total", "N.")
+        with pytest.raises(ValueError):
+            counter.inc(-1.0)
+
+    def test_labelled_series_are_independent(self):
+        registry = MetricsRegistry()
+        counter = registry.counter(
+            "outcomes_total", "Outcomes.", ("outcome",)
+        )
+        counter.inc(outcome="ok")
+        counter.inc(outcome="ok")
+        counter.inc(outcome="failed")
+        assert counter.value(outcome="ok") == 2.0
+        assert counter.value(outcome="failed") == 1.0
+
+    def test_unknown_label_rejected(self):
+        counter = MetricsRegistry().counter("x_total", "X.", ("a",))
+        with pytest.raises(ValueError):
+            counter.inc(b="nope")
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        gauge = MetricsRegistry().gauge("level", "Level.")
+        gauge.set(5.0)
+        gauge.set(2.0)
+        assert gauge.value() == 2.0
+
+    def test_inc_moves_both_ways(self):
+        gauge = MetricsRegistry().gauge("level", "Level.")
+        gauge.inc(3.0)
+        gauge.inc(-1.0)
+        assert gauge.value() == 2.0
+
+
+class TestHistogramBucketEdges:
+    """The le-semantics corner cases: exact edges, above-top, below-min."""
+
+    def test_observation_on_edge_counts_in_that_bucket(self):
+        hist = MetricsRegistry().histogram(
+            "t", "T.", buckets=(1.0, 2.0, 5.0)
+        )
+        hist.observe(1.0)  # exactly on the first edge: le=1.0 bucket
+        cumulative = dict(hist.cumulative_buckets())
+        assert cumulative[1.0] == 1
+        assert cumulative[2.0] == 1
+
+    def test_above_top_edge_lands_in_inf_only(self):
+        hist = MetricsRegistry().histogram("t", "T.", buckets=(1.0, 2.0))
+        hist.observe(99.0)
+        cumulative = hist.cumulative_buckets()
+        assert cumulative[-1][0] == float("inf")
+        assert cumulative[-1][1] == 1
+        assert all(count == 0 for _, count in cumulative[:-1])
+
+    def test_below_first_edge_counts_everywhere(self):
+        hist = MetricsRegistry().histogram("t", "T.", buckets=(1.0, 2.0))
+        hist.observe(0.5)
+        assert [count for _, count in hist.cumulative_buckets()] == [1, 1, 1]
+
+    def test_cumulative_is_monotone_and_ends_at_count(self):
+        hist = MetricsRegistry().histogram("t", "T.", buckets=DEFAULT_BUCKETS)
+        for value in (0.0005, 0.003, 0.003, 0.2, 7.0, 1000.0):
+            hist.observe(value)
+        counts = [count for _, count in hist.cumulative_buckets()]
+        assert counts == sorted(counts)
+        assert counts[-1] == hist.count() == 6
+        assert hist.sum() == pytest.approx(1007.2065)
+
+    def test_buckets_must_be_increasing(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.histogram("bad", "B.", buckets=(2.0, 1.0))
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        registry = MetricsRegistry()
+        first = registry.counter("a_total", "A.")
+        second = registry.counter("a_total", "A.")
+        assert first is second
+
+    def test_kind_conflict_rejected(self):
+        registry = MetricsRegistry()
+        registry.counter("thing", "T.")
+        with pytest.raises(ValueError):
+            registry.gauge("thing", "T.")
+
+    def test_invalid_metric_name_rejected(self):
+        registry = MetricsRegistry()
+        with pytest.raises(ValueError):
+            registry.counter("bad name!", "B.")
+
+    def test_to_dict_is_json_ready_and_sorted(self):
+        registry = MetricsRegistry()
+        registry.gauge("z_gauge", "Z.").set(1.0)
+        registry.counter("a_total", "A.").inc()
+        dump = registry.to_dict()
+        assert list(dump) == sorted(dump)
+        json.dumps(dump)  # must not raise
+
+    def test_counter_gauge_histogram_kinds(self):
+        registry = MetricsRegistry()
+        assert isinstance(registry.counter("c_total", "C."), Counter)
+        assert isinstance(registry.gauge("g", "G."), Gauge)
+        assert isinstance(registry.histogram("h", "H."), Histogram)

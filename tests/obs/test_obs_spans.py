@@ -1,0 +1,134 @@
+"""Tests for repro.obs.spans: nesting, ordering, clock injection."""
+
+from __future__ import annotations
+
+from repro.obs import Span, SpanRecorder
+
+
+class FakeClock:
+    """Deterministic ticking clock: each read advances by ``step``."""
+
+    def __init__(self, step: float = 1.0) -> None:
+        self.now = 0.0
+        self.step = step
+
+    def __call__(self) -> float:
+        value = self.now
+        self.now += self.step
+        return value
+
+
+class TestNesting:
+    def test_children_point_at_parent(self):
+        recorder = SpanRecorder()
+        with recorder.span("round") as parent:
+            with recorder.span("estimate"):
+                pass
+            with recorder.span("plan"):
+                pass
+        children = recorder.children_of(parent)
+        assert [span.name for span in children] == ["estimate", "plan"]
+        assert all(span.parent_id == parent.span_id for span in children)
+        assert recorder.roots() == [parent]
+
+    def test_shuffle_round_tree_shape(self):
+        recorder = SpanRecorder(clock=FakeClock())
+        with recorder.span("shuffle_round", round=0):
+            with recorder.span("estimate"):
+                pass
+            with recorder.span("plan"):
+                pass
+            with recorder.span("shuffle"):
+                pass
+            with recorder.span("substitute"):
+                pass
+        lines = recorder.tree_lines()
+        assert lines[0].startswith("shuffle_round")
+        assert [line.split()[0] for line in lines[1:]] == [
+            "estimate", "plan", "shuffle", "substitute",
+        ]
+        assert all(line.startswith("  ") for line in lines[1:])
+
+    def test_ids_assigned_in_start_order(self):
+        recorder = SpanRecorder()
+        with recorder.span("a"):
+            with recorder.span("b"):
+                pass
+        with recorder.span("c"):
+            pass
+        by_name = {span.name: span.span_id for span in recorder.spans}
+        assert by_name == {"a": 1, "b": 2, "c": 3}
+
+    def test_mis_nested_exit_recovers(self):
+        recorder = SpanRecorder()
+        outer = recorder.span("outer")
+        inner = recorder.span("inner")
+        outer.__enter__(), inner.__enter__()
+        outer.__exit__(None, None, None)  # closes inner implicitly
+        assert recorder.active_depth == 0
+        with recorder.span("next"):
+            pass
+        assert recorder.named("next")[0].parent_id is None
+
+
+class TestClockAndDuration:
+    def test_injected_clock_measures_duration(self):
+        recorder = SpanRecorder(clock=FakeClock(step=2.0))
+        with recorder.span("op") as span:
+            pass
+        assert span.started_at == 0.0
+        assert span.ended_at == 2.0
+        assert span.duration == 2.0
+
+    def test_zero_clock_default_still_nests(self):
+        recorder = SpanRecorder()
+        with recorder.span("op") as span:
+            pass
+        assert span.duration == 0.0
+        assert span.finished
+
+    def test_attrs_via_set_land_in_event(self):
+        recorder = SpanRecorder()
+        with recorder.span("op", phase="x") as span:
+            span.set(m_hat=7)
+        event = span.to_event()
+        assert event.kind == "span"
+        assert event.data["phase"] == "x"
+        assert event.data["m_hat"] == 7
+        assert event.data["name"] == "op"
+
+
+class TestExportOrdering:
+    def test_to_events_sorted_by_start_not_completion(self):
+        recorder = SpanRecorder(clock=FakeClock())
+        with recorder.span("parent"):  # starts first, finishes last
+            with recorder.span("child"):
+                pass
+        names = [event.data["name"] for event in recorder.to_events()]
+        assert names == ["parent", "child"]
+
+    def test_export_is_hash_seed_independent(self):
+        # Same workload, two recorders: identical serialized output.
+        def workload(recorder: SpanRecorder) -> list[str]:
+            with recorder.span("round", zebra=1, apple=2):
+                with recorder.span("inner"):
+                    pass
+            return [event.to_json() for event in recorder.to_events()]
+
+        first = workload(SpanRecorder(clock=FakeClock()))
+        second = workload(SpanRecorder(clock=FakeClock()))
+        assert first == second
+
+    def test_capacity_drops_oldest(self):
+        recorder = SpanRecorder(capacity=2)
+        for index in range(5):
+            with recorder.span(f"s{index}"):
+                pass
+        assert len(recorder) == 2
+        assert recorder.dropped == 3
+        assert [span.name for span in recorder.spans] == ["s3", "s4"]
+
+    def test_span_dataclass_defaults(self):
+        span = Span(span_id=1, name="x", started_at=0.0)
+        assert not span.finished
+        assert span.duration == 0.0

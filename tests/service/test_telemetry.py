@@ -7,6 +7,11 @@ import json
 
 import pytest
 
+from repro.obs import (
+    MetricsRegistry,
+    PROMETHEUS_CONTENT_TYPE,
+    render_prometheus,
+)
 from repro.service import TelemetryServer, export_snapshot, export_windows
 from repro.sim.qos import QoSWindow
 
@@ -66,8 +71,61 @@ def test_address_requires_start():
         server.address
 
 
-def test_export_snapshot_round_trips(tmp_path):
-    target = export_snapshot({"b": 2, "a": [1]}, tmp_path / "snap.json")
+def test_metrics_path_serves_prometheus_text_when_registry_attached():
+    registry = MetricsRegistry()
+    counter = registry.counter(
+        "service_shuffle_rounds_total",
+        "Completed shuffle rounds.",
+        ("estimator",),
+    )
+    counter.inc(2, estimator="binomial")
+    registry.gauge(
+        "service_token_bucket_tokens", "Token bucket level.", ("replica",)
+    ).set(7.5, replica="r0")
+
+    async def scenario():
+        server = TelemetryServer(dict, registry=registry)
+        await server.start()
+        try:
+            return await _http_get(*server.address)
+        finally:
+            await server.stop()
+
+    head, body = asyncio.run(scenario())
+    assert head.startswith(b"HTTP/1.0 200 OK")
+    assert PROMETHEUS_CONTENT_TYPE.encode() in head
+    assert body.decode() == render_prometheus(registry)
+    text = body.decode()
+    assert 'service_shuffle_rounds_total{estimator="binomial"} 2' in text
+    assert 'service_token_bucket_tokens{replica="r0"} 7.5' in text
+
+
+def test_non_metrics_path_still_serves_json_snapshot():
+    registry = MetricsRegistry()
+    registry.counter("c_total", "C.").inc()
+
+    async def scenario():
+        server = TelemetryServer(lambda: {"ok": True}, registry=registry)
+        await server.start()
+        try:
+            host, port = server.address
+            reader, writer = await asyncio.open_connection(host, port)
+            writer.write(b"GET /snapshot HTTP/1.0\r\n\r\n")
+            await writer.drain()
+            raw = await reader.read()
+            writer.close()
+            return raw.partition(b"\r\n\r\n")
+        finally:
+            await server.stop()
+
+    head, _, body = asyncio.run(scenario())
+    assert b"Content-Type: application/json" in head
+    assert json.loads(body) == {"ok": True}
+
+
+def test_export_snapshot_round_trips_with_deprecation(tmp_path):
+    with pytest.warns(DeprecationWarning, match="repro.obs.export_json"):
+        target = export_snapshot({"b": 2, "a": [1]}, tmp_path / "snap.json")
     assert json.loads(target.read_text()) == {"a": [1], "b": 2}
 
 

@@ -212,5 +212,5 @@ def test_layer_contract_shape():
     for layer in LAYER_CONTRACT:
         assert layer in top_level or layer in {
             "core", "sim", "analysis", "cloudsim", "runtime",
-            "service", "experiments", "devtools",
+            "service", "experiments", "devtools", "obs",
         }
