@@ -1,0 +1,76 @@
+"""reprolint whole-tree latency benchmark.
+
+The static-analysis gate only stays in the default developer loop (and
+in CI on every push) while a full ``--project`` run over ``src/repro``
+is interactive-fast.  This benchmark times the complete 18-rule run —
+all file rules plus the P1-P10 whole-program passes, which parse every
+module, build the import and call graphs, and run five concurrency
+dataflow analyses — and fails if the min-of-repeats wall time crosses
+``TIME_LIMIT_S``.
+
+Writes ``BENCH_lint.json`` (override with ``BENCH_LINT_JSON``) for CI
+artifact upload.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.devtools import lint_project
+
+TIME_LIMIT_S = 30.0
+REPEATS = 3
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+SRC = REPO_ROOT / "src" / "repro"
+
+
+def test_whole_tree_project_lint_is_interactive(benchmark, show):
+    report = lint_project([SRC])  # warm-up: imports, bytecode caches
+    assert report.ok, "benchmark expects a clean tree"
+
+    samples = []
+    for _ in range(REPEATS):
+        begun = time.perf_counter()
+        report = lint_project([SRC])
+        samples.append(time.perf_counter() - begun)
+    best = min(samples)
+
+    # One extra pass through pytest-benchmark for its table.
+    benchmark.pedantic(
+        lint_project, args=([SRC],), rounds=1, iterations=1
+    )
+
+    rule_count = len(report.rules) + len(report.project_rules)
+    assert rule_count == 18
+    assert best <= TIME_LIMIT_S, (
+        f"whole-tree lint took {best:.2f} s "
+        f"(limit {TIME_LIMIT_S} s) — the gate is no longer interactive"
+    )
+
+    payload = {
+        "files_checked": report.files_checked,
+        "rules_active": rule_count,
+        "repeats": REPEATS,
+        "wall_time_s": {
+            "best": round(best, 4),
+            "samples": [round(s, 4) for s in samples],
+        },
+        "limit_s": TIME_LIMIT_S,
+    }
+    out_path = os.environ.get("BENCH_LINT_JSON", "BENCH_lint.json")
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    show(
+        "reprolint whole-tree latency "
+        f"(min of {REPEATS})\n"
+        f"  files:  {report.files_checked}\n"
+        f"  rules:  {rule_count}\n"
+        f"  best:   {best:.2f} s (limit {TIME_LIMIT_S:.0f} s)\n"
+        f"  written: {out_path}"
+    )

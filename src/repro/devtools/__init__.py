@@ -14,12 +14,14 @@ invariants the paper's math demands but Python itself cannot enforce:
   annotations ``mypy --strict`` needs (rules R5/R6).
 
 The per-file R-series is complemented by whole-program project rules
-(P1-P5, ``repro-lint --project``) living in :mod:`.program`: import
+(P1-P10, ``repro-lint --project``) living in :mod:`.program`: import
 layering contracts, interprocedural RNG provenance, determinism
-dataflow into the DES event queue, wall-clock bans, and dead-export
-detection — with a committed baseline/ratchet file
-(``.reprolint-baseline.json``) and an import-graph export
-(``--graph``).
+dataflow into the DES event queue, wall-clock bans, dead-export
+detection, and the concurrency-era passes (event-loop blocking, orphan
+coroutines, executor pickling safety, shared-state races, hot-path
+discipline) — with a committed baseline/ratchet file
+(``.reprolint-baseline.json``), an import-graph export (``--graph``),
+and a SARIF 2.1.0 reporter (``--format sarif``) for code scanning.
 
 See ``docs/static-analysis.md`` for the full rule catalogue and
 suppression syntax, and ``docs/import-graph.md`` for the layering
@@ -41,7 +43,7 @@ from .registry import (
     resolve_rules,
     rule,
 )
-from .reporters import render_json, render_text
+from .reporters import render_json, render_sarif, render_text
 from .runner import LintReport, lint_paths, lint_project
 from .violations import Violation
 
@@ -64,6 +66,7 @@ __all__ = [
     "lint_project",
     "project_rule",
     "render_json",
+    "render_sarif",
     "render_text",
     "resolve_rule_sets",
     "resolve_rules",

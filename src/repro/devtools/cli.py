@@ -3,11 +3,12 @@
 Usage::
 
     repro-lint src/repro                  # file rules, text report
-    repro-lint --project src/repro        # + whole-program rules P1-P5
+    repro-lint --project src/repro        # + whole-program rules P1-P10
     repro-lint --project --baseline .reprolint-baseline.json src/repro
     repro-lint --project --write-baseline src/repro   # reset the ratchet
     repro-lint --graph docs/import-graph.dot src/repro  # export graph
     repro-lint --format json src/repro    # machine-readable output
+    repro-lint --format sarif src/repro   # GitHub code-scanning upload
     repro-lint --select R1,P3 src/repro   # subset across both scopes
     repro-lint --list-rules               # rule catalogue with rationales
 
@@ -23,7 +24,7 @@ from pathlib import Path
 from typing import Sequence
 
 from .registry import all_project_rules, all_rules
-from .reporters import render_json, render_text
+from .reporters import render_json, render_sarif, render_text
 from .runner import (
     find_package_root,
     default_consumer_roots,
@@ -56,9 +57,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("text", "json"),
+        choices=("text", "json", "sarif"),
         default="text",
-        help="report format (default: text)",
+        help="report format (default: text); sarif emits SARIF 2.1.0 "
+        "for GitHub code scanning",
     )
     parser.add_argument(
         "--select",
@@ -73,7 +75,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--project",
         action="store_true",
-        help="also run the whole-program rules (P1-P5) over the tree",
+        help="also run the whole-program rules (P1-P10) over the tree",
     )
     parser.add_argument(
         "--baseline",
@@ -218,6 +220,8 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if options.format == "json":
         print(render_json(report))
+    elif options.format == "sarif":
+        print(render_sarif(report))
     else:
         print(render_text(report))
     return 0 if report.ok else 1

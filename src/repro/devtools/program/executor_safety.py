@@ -1,0 +1,241 @@
+"""Rule P8: everything submitted to the process pool must pickle.
+
+The execution runtime (PR 3) ships work to worker processes: a
+:class:`repro.runtime.Task` is pickled, its ``fn`` re-imported by
+dotted reference on the worker, and its ``params`` round-tripped
+through canonical JSON so cached and fresh results are byte-identical.
+That contract breaks *at runtime, on the worker, mid-sweep* when a call
+site hands the runtime something unpicklable — a lambda, a closure over
+local state, a bound method dragging its instance along, a
+``functools.partial`` — or params outside the JSON data model (sets,
+bytes).  The failure is far from the bug: the sweep dies inside the
+pool with a pickling traceback, or worse, fingerprints stop being pure
+functions of the task.  This pass checks the discipline statically at
+every ``Task(...)`` construction and every ``pool.submit(...)`` call.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+from typing import Iterator
+
+from ..registry import project_rule
+from .context import ModuleInfo, ProgramContext
+
+__all__ = []
+
+#: receivers whose ``.submit(...)`` we treat as a process-pool boundary.
+_POOL_HINTS = ("pool", "executor")
+
+#: params values outside the JSON data model the runtime canonicalizes.
+_NON_JSON = {
+    ast.Lambda: "a lambda",
+    ast.Set: "a set literal",
+}
+
+
+def _task_local_names(info: ModuleInfo) -> tuple[set[str], set[str]]:
+    """Local names bound to the runtime Task class / submit aliases.
+
+    Returns ``(ctor_names, module_aliases)``: bare names that construct
+    a runtime ``Task``, and module aliases through which ``X.Task(...)``
+    reaches it.
+    """
+    ctor: set[str] = set()
+    aliases: set[str] = set()
+    for record in info.imports:
+        runtime = "runtime" in record.target.split(".")
+        if not runtime:
+            continue
+        if record.names:
+            for local, original in record.bindings():
+                if original == "Task":
+                    ctor.add(local)
+        elif record.module_alias is not None:
+            aliases.add(record.module_alias)
+    return ctor, aliases
+
+
+def _is_task_ctor(
+    call: ast.Call, ctor: set[str], aliases: set[str]
+) -> bool:
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id in ctor
+    if isinstance(func, ast.Attribute) and func.attr == "Task":
+        value = func.value
+        while isinstance(value, ast.Attribute):
+            value = value.value
+        return isinstance(value, ast.Name) and value.id in aliases
+    return False
+
+
+def _nested_def_names(tree: ast.Module) -> set[str]:
+    """Names of functions defined *inside* another function: closures
+    the pickle protocol cannot reach by dotted reference."""
+    nested: set[str] = set()
+    for node in ast.walk(tree):
+        if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        for inner in ast.walk(node):
+            if inner is node:
+                continue
+            if isinstance(inner, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                nested.add(inner.name)
+    return nested
+
+
+def _module_level_defs(tree: ast.Module) -> set[str]:
+    return {
+        node.name
+        for node in tree.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def _fn_argument(call: ast.Call) -> ast.expr | None:
+    for keyword in call.keywords:
+        if keyword.arg == "fn":
+            return keyword.value
+    if call.args:
+        return call.args[0]
+    return None
+
+
+def _params_argument(call: ast.Call) -> ast.expr | None:
+    for keyword in call.keywords:
+        if keyword.arg == "params":
+            return keyword.value
+    if len(call.args) >= 2:
+        return call.args[1]
+    return None
+
+
+def _unpicklable_fn(
+    fn: ast.expr, nested: set[str], toplevel: set[str]
+) -> str | None:
+    """Reason the ``fn`` expression cannot be re-imported by a worker."""
+    if isinstance(fn, ast.Lambda):
+        return "a lambda (unpicklable; workers re-import fn by name)"
+    if isinstance(fn, ast.Attribute) and isinstance(fn.value, ast.Name):
+        if fn.value.id in ("self", "cls"):
+            return (
+                f"the bound method `{fn.value.id}.{fn.attr}` (drags its "
+                "instance across the pickle boundary)"
+            )
+    if isinstance(fn, ast.Call):
+        func = fn.func
+        name = (
+            func.id
+            if isinstance(func, ast.Name)
+            else func.attr if isinstance(func, ast.Attribute) else None
+        )
+        if name == "partial":
+            return (
+                "a functools.partial (captures arguments outside the "
+                "JSON-canonical params)"
+            )
+    if isinstance(fn, ast.Name):
+        if fn.id in nested and fn.id not in toplevel:
+            return (
+                f"the nested function `{fn.id}` (a closure; workers "
+                "cannot import it by dotted reference)"
+            )
+    return None
+
+
+def _non_json_params(params: ast.expr) -> Iterator[tuple[ast.expr, str]]:
+    if not isinstance(params, ast.Dict):
+        return
+    for value in params.values:
+        for node in ast.walk(value):
+            for kind, label in _NON_JSON.items():
+                if isinstance(node, kind):
+                    yield node, label
+                    break
+            else:
+                if isinstance(node, ast.Constant) and isinstance(
+                    node.value, bytes
+                ):
+                    yield node, "bytes"
+                elif (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id in ("set", "frozenset")
+                ):
+                    yield node, f"a {node.func.id}() value"
+
+
+def _submit_receiver(call: ast.Call) -> str | None:
+    func = call.func
+    if not (isinstance(func, ast.Attribute) and func.attr == "submit"):
+        return None
+    value = func.value
+    while isinstance(value, ast.Attribute):
+        value = value.value
+    if isinstance(value, ast.Name):
+        lowered = value.id.lower()
+        if any(hint in lowered for hint in _POOL_HINTS):
+            return value.id
+    return None
+
+
+@project_rule(
+    "P8",
+    "executor-submission",
+    "Work shipped to the process pool is pickled and its params are "
+    "round-tripped through canonical JSON; a lambda, closure, bound "
+    "method, functools.partial, or set/bytes param dies on the worker "
+    "mid-sweep (or corrupts fingerprint purity) far from the call site "
+    "— submit module-level functions with JSON-encodable params only.",
+)
+def check_executor_submissions(
+    program: ProgramContext,
+) -> Iterator[tuple[Path, int, int, str]]:
+    for info in program.project_modules():
+        if info.ctx.is_test_file:
+            continue
+        ctor, aliases = _task_local_names(info)
+        tree = info.ctx.tree
+        nested = _nested_def_names(tree)
+        toplevel = _module_level_defs(tree)
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if _is_task_ctor(node, ctor, aliases):
+                fn = _fn_argument(node)
+                if fn is not None:
+                    reason = _unpicklable_fn(fn, nested, toplevel)
+                    if reason is not None:
+                        yield (
+                            info.ctx.path,
+                            fn.lineno,
+                            fn.col_offset,
+                            f"Task(fn=...) given {reason}; use a "
+                            "module-level function reference",
+                        )
+                params = _params_argument(node)
+                if params is not None:
+                    for bad, label in _non_json_params(params):
+                        yield (
+                            info.ctx.path,
+                            bad.lineno,
+                            bad.col_offset,
+                            f"Task params contain {label}, outside the "
+                            "JSON data model the runtime canonicalizes "
+                            "(use list/dict/str/number/bool/None)",
+                        )
+                continue
+            receiver = _submit_receiver(node)
+            if receiver is not None and node.args:
+                reason = _unpicklable_fn(node.args[0], nested, toplevel)
+                if reason is not None:
+                    yield (
+                        info.ctx.path,
+                        node.args[0].lineno,
+                        node.args[0].col_offset,
+                        f"`{receiver}.submit(...)` given {reason}; "
+                        "worker processes can only unpickle "
+                        "module-level functions",
+                    )

@@ -1,8 +1,9 @@
-"""Text and JSON renderings of a :class:`LintReport`."""
+"""Text, JSON, and SARIF renderings of a :class:`LintReport`."""
 
 from __future__ import annotations
 
 import json
+from pathlib import Path
 
 from .runner import LintReport
 
@@ -64,5 +65,76 @@ def render_json(report: LintReport) -> str:
             for rule in report.project_rules
         ],
         "ok": report.ok,
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _sarif_uri(path: str, base: Path) -> str:
+    """Repo-relative POSIX path when possible (what code scanning
+    needs to anchor annotations), absolute URI otherwise."""
+    resolved = Path(path).resolve()
+    try:
+        return resolved.relative_to(base).as_posix()
+    except ValueError:
+        return resolved.as_posix()
+
+
+def render_sarif(report: LintReport, base: Path | None = None) -> str:
+    """SARIF 2.1.0 rendering for GitHub code scanning.
+
+    One run, one ``reprolint`` driver carrying the full rule catalogue
+    (file + project scope), one result per violation.  ``base``
+    (default: the current working directory) anchors the repo-relative
+    artifact URIs code scanning matches against the checkout.
+    """
+    base = (base or Path.cwd()).resolve()
+    rules = [
+        {
+            "id": rule.rule_id,
+            "name": rule.name,
+            "shortDescription": {"text": rule.name},
+            "fullDescription": {"text": rule.rationale},
+            "defaultConfiguration": {"level": "error"},
+        }
+        for rule in (*report.rules, *report.project_rules)
+    ]
+    results = [
+        {
+            "ruleId": v.rule_id,
+            "level": "error",
+            "message": {"text": v.message},
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": _sarif_uri(v.path, base),
+                        },
+                        "region": {
+                            "startLine": v.line,
+                            "startColumn": v.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for v in report.violations
+    ]
+    payload = {
+        "$schema": (
+            "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+            "master/Schemata/sarif-schema-2.1.0.json"
+        ),
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "reprolint",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
     }
     return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,6 +1,6 @@
 """Suppression and sentinel comment parsing for reprolint.
 
-Three comment forms are recognised (all parsed from real COMMENT tokens,
+Four comment forms are recognised (all parsed from real COMMENT tokens,
 so occurrences inside string literals are ignored):
 
 ``# reprolint: disable=R3`` (or ``disable=R3,R5``)
@@ -18,6 +18,12 @@ so occurrences inside string literals are ignored):
     this marker (with a non-empty reason) is present.  See
     ``docs/static-analysis.md`` for when exact float equality is
     actually sound.
+
+``# event-loop-safe: <reason>``
+    Marks a call the async-blocking pass (P6) would flag as safe to run
+    on the event loop, with the justification the reviewer needs (e.g.
+    "closed-form estimator, sub-ms at live pool scale").  A non-empty
+    reason is mandatory — the bare marker does not suppress.
 """
 
 from __future__ import annotations
@@ -32,6 +38,7 @@ _DISABLE_RE = re.compile(
     r"(?P<rules>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
 )
 _SENTINEL_RE = re.compile(r"#\s*exact-sentinel:\s*(?P<reason>\S.*)")
+_LOOP_SAFE_RE = re.compile(r"#\s*event-loop-safe:\s*(?P<reason>\S.*)")
 
 
 @dataclass
@@ -45,6 +52,8 @@ class Suppressions:
     standalone: set[int] = field(default_factory=set)
     sentinel_lines: set[int] = field(default_factory=set)
     standalone_sentinels: set[int] = field(default_factory=set)
+    loop_safe_lines: set[int] = field(default_factory=set)
+    standalone_loop_safe: set[int] = field(default_factory=set)
 
     def is_suppressed(self, rule_id: str, line: int) -> bool:
         if rule_id in self.file_level:
@@ -60,6 +69,14 @@ class Suppressions:
         return (
             line in self.sentinel_lines
             or (line - 1) in self.standalone_sentinels
+        )
+
+    def has_loop_safe(self, line: int) -> bool:
+        """True when an ``# event-loop-safe: <reason>`` marker covers
+        ``line`` (same line, or standalone on the line above)."""
+        return (
+            line in self.loop_safe_lines
+            or (line - 1) in self.standalone_loop_safe
         )
 
 
@@ -94,4 +111,9 @@ def parse_suppressions(source: str) -> Suppressions:
             sup.sentinel_lines.add(line_no)
             if standalone:
                 sup.standalone_sentinels.add(line_no)
+        loop_safe = _LOOP_SAFE_RE.search(text)
+        if loop_safe is not None:
+            sup.loop_safe_lines.add(line_no)
+            if standalone:
+                sup.standalone_loop_safe.add(line_no)
     return sup

@@ -134,11 +134,17 @@ class ReplicaBackend:
         # for the handlers to unwind before declaring the port dark.
         for writer in list(self._connections):
             writer.close()
+        # Handler tasks discard their own entries, but a concurrent
+        # discard during this clear() is harmless: both sides only
+        # remove, and each mutation is a single atomic set op on the
+        # one event loop (no await splits a read-modify-write).
+        # reprolint: disable=P9
         self._connections.clear()
         if self._handlers:
             await asyncio.gather(
                 *list(self._handlers), return_exceptions=True
             )
+            # reprolint: disable=P9
             self._handlers.clear()
 
     @property
@@ -156,6 +162,10 @@ class ReplicaBackend:
     # ------------------------------------------------------------------
     def admit(self, client_id: str) -> None:
         """Whitelist a client the coordinator assigned here."""
+        # Reached from both the control handler (assign) and the
+        # shuffle path, but each caller performs one atomic set.add
+        # with no await in between — the loop cannot interleave them.
+        # reprolint: disable=P9
         self.whitelist.add(client_id)
 
     def evict(self, client_id: str) -> None:

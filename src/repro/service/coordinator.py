@@ -149,6 +149,9 @@ class ServiceCoordinator:
             bot_grid=config.plan_bot_grid,
         )
         self._rng = np.random.default_rng(config.seed)
+        #: exception that killed the detection loop, if any (see
+        #: :meth:`_on_detect_done`); ``None`` while healthy.
+        self.detect_error: BaseException | None = None
         self.assignments: dict[str, str] = {}
         self.shuffles: list[LiveShuffleRecord] = []
         self.believed_bots: int | None = None
@@ -170,7 +173,11 @@ class ServiceCoordinator:
     # ------------------------------------------------------------------
     async def start(self) -> None:
         """Boot the pool, precompute plans, open the control channel."""
-        self.plan_cache.precompute()
+        # Whole-grid DP precomputation is the heaviest call in the
+        # service; a worker thread keeps the loop free to boot the pool.
+        await asyncio.get_running_loop().run_in_executor(
+            None, self.plan_cache.precompute
+        )
         await self.pool.start()
         self._control = await asyncio.start_server(
             self._handle_control, self.config.host, self.config.control_port
@@ -179,15 +186,38 @@ class ServiceCoordinator:
         self._running = True
         self._started_at = self._clock()
         self._detect_task = asyncio.create_task(self._detect_loop())
+        self._detect_task.add_done_callback(self._on_detect_done)
+
+    def _on_detect_done(self, task: asyncio.Task) -> None:
+        """Surface a crashed detection loop instead of swallowing it.
+
+        Without this callback an exception inside the loop dies with
+        the task object and the service keeps serving with detection
+        silently off — the worst failure mode a moving-target defense
+        can have.
+        """
+        if task.cancelled():
+            return
+        exc = task.exception()
+        if exc is None:
+            return
+        self.detect_error = exc
+        self._running = False
+        if self.instruments is not None:
+            self.instruments.registry.counter(
+                "service_detect_loop_failures_total",
+                "Detection loops that died with an exception.",
+            ).inc()
 
     async def stop(self) -> None:
         self._running = False
         if self._detect_task is not None:
             self._detect_task.cancel()
-            try:
-                await self._detect_task
-            except asyncio.CancelledError:
-                pass
+            # gather(return_exceptions=True) so a loop that already
+            # crashed (see detect_error) does not re-raise at shutdown.
+            await asyncio.gather(
+                self._detect_task, return_exceptions=True
+            )
             self._detect_task = None
         if self._control is not None:
             self._control.close()
@@ -248,6 +278,10 @@ class ServiceCoordinator:
             raise RuntimeError("no active replicas")
         backend = min(active, key=lambda b: b.n_clients)
         backend.admit(client_id)
+        # Written from the control handler (here) and the shuffle path;
+        # every read-modify-write completes without an intervening
+        # await, so the single-threaded loop cannot interleave them.
+        # reprolint: disable=P9
         self.assignments[client_id] = backend.replica_id
         return backend
 
@@ -440,6 +474,7 @@ class ServiceCoordinator:
         with (
             spans.span("estimate") if spans is not None else nullcontext()
         ) as span:
+            # event-loop-safe: closed-form estimators, sub-ms at pool scale
             believed, estimator = self._estimate(attacked_ids, n_clients)
             if span is not None:
                 span.set(believed=believed, estimator=estimator)

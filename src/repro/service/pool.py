@@ -11,6 +11,7 @@ flooding a closed socket.
 
 from __future__ import annotations
 
+import asyncio
 import time
 from typing import Callable
 
@@ -42,6 +43,13 @@ class ReplicaPool:
         self._counter = 0
         self.backends: dict[str, ReplicaBackend] = {}
         self.retired: dict[str, ReplicaBackend] = {}
+        # Membership mutations happen from the detect loop's shuffles
+        # and from the shutdown path concurrently; one lock covers all
+        # of them.  ``_active`` is the O(1) index the per-request
+        # ``active()`` call reads — membership changes only here, at
+        # mutation time, never by scanning per request.
+        self._lock = asyncio.Lock()
+        self._active: dict[str, ReplicaBackend] = {}
 
     # ------------------------------------------------------------------
     async def spawn(self) -> ReplicaBackend:
@@ -55,7 +63,9 @@ class ReplicaPool:
             instruments=self.instruments,
         )
         await backend.start(port=0)
-        self.backends[replica_id] = backend
+        async with self._lock:
+            self.backends[replica_id] = backend
+            self._active[replica_id] = backend
         if self.instruments is not None:
             self.instruments.registry.counter(
                 "service_replicas_spawned_total",
@@ -71,12 +81,14 @@ class ReplicaPool:
 
     async def retire(self, replica_id: str) -> None:
         """Quiesce and close one backend; its port goes dark."""
-        backend = self.backends.pop(replica_id, None)
-        if backend is None:
-            return
+        async with self._lock:
+            backend = self.backends.pop(replica_id, None)
+            if backend is None:
+                return
+            self._active.pop(replica_id, None)
+            self.retired[replica_id] = backend
         backend.quiesce()
         await backend.stop()
-        self.retired[replica_id] = backend
         if self.instruments is not None:
             self.instruments.registry.counter(
                 "service_replicas_retired_total",
@@ -101,8 +113,8 @@ class ReplicaPool:
 
     # ------------------------------------------------------------------
     def active(self) -> list[ReplicaBackend]:
-        """Live backends in spawn order."""
-        return [b for b in self.backends.values() if b.is_active]
+        """Live backends in spawn order (O(1) index, O(P) copy)."""
+        return list(self._active.values())
 
     def attacked(self) -> list[ReplicaBackend]:
         """Live backends currently reporting saturation."""
@@ -113,7 +125,7 @@ class ReplicaPool:
 
     @property
     def n_active(self) -> int:
-        return len(self.active())
+        return len(self._active)
 
     def snapshot(self) -> list[dict[str, object]]:
         return [b.snapshot() for b in self.backends.values()]

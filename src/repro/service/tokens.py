@@ -115,6 +115,10 @@ class SaturationMonitor:
     def record(self, admitted: bool) -> None:
         """Record one request outcome (admitted or throttled)."""
         now = self._clock()
+        # Appended by request handlers, pruned by the detection sweep;
+        # record()/counts() are fully synchronous (no await), so each
+        # runs to completion before the loop switches tasks.
+        # reprolint: disable=P9
         self._events.append((now, not admitted))
         if not admitted:
             self._throttled_in_window += 1

@@ -51,10 +51,10 @@ def test_src_repro_is_reprolint_clean():
 
 
 def test_src_repro_is_project_clean():
-    """The whole-program passes (P1-P5) must also hold on the tree."""
+    """The whole-program passes (P1-P10) must also hold on the tree."""
     report = lint_project([SRC])
     assert report.files_checked > 50
-    assert len(report.project_rules) == 5
+    assert len(report.project_rules) == 10
     assert report.ok, "\n" + render_text(report)
 
 

@@ -1,4 +1,4 @@
-"""Unit tests for the whole-program passes (P1-P5).
+"""Unit tests for the whole-program passes (P1-P10).
 
 Each test materialises a minimal ``repro``-shaped package under
 ``tmp_path`` and runs :func:`repro.devtools.lint_project` with
@@ -523,6 +523,510 @@ class TestProjectSuppressions:
             },
         )
         assert hits(tree, ["P1"]) == []
+
+
+SERVICE_PKG = PKG | {
+    "repro/service/__init__.py": "",
+    "repro/runtime/__init__.py": "",
+    "repro/obs/__init__.py": "",
+}
+
+
+class TestP6AsyncBlocking:
+    def test_time_sleep_in_async_service_fn(self, tmp_path):
+        tree = build_tree(
+            tmp_path,
+            SERVICE_PKG
+            | {
+                "repro/service/worker.py": """\
+                import asyncio
+                import time
+
+                async def tick():
+                    time.sleep(0.1)
+                    await asyncio.sleep(0.1)
+                """,
+            },
+        )
+        found = hits(tree, ["P6"])
+        assert found == ["P6 worker.py:5"], found
+
+    def test_transitive_blocking_through_sync_helper(self, tmp_path):
+        tree = build_tree(
+            tmp_path,
+            SERVICE_PKG
+            | {
+                "repro/service/worker.py": """\
+                import time
+
+                def pause():
+                    time.sleep(0.1)
+
+                async def tick():
+                    pause()
+                """,
+            },
+        )
+        found = hits(tree, ["P6"])
+        assert found == ["P6 worker.py:7"], found
+
+    def test_cpu_heavy_core_call_is_flagged(self, tmp_path):
+        tree = build_tree(
+            tmp_path,
+            SERVICE_PKG
+            | {
+                "repro/core/planner.py": "def dp_plan(n):\n    return n\n",
+                "repro/service/worker.py": """\
+                from repro.core.planner import dp_plan
+
+                async def tick():
+                    dp_plan(3)
+                """,
+            },
+        )
+        found = hits(tree, ["P6"])
+        assert found == ["P6 worker.py:4"], found
+
+    def test_event_loop_safe_marker_suppresses_with_reason(self, tmp_path):
+        tree = build_tree(
+            tmp_path,
+            SERVICE_PKG
+            | {
+                "repro/core/planner.py": "def dp_plan(n):\n    return n\n",
+                "repro/service/worker.py": """\
+                from repro.core.planner import dp_plan
+
+                async def tick():
+                    dp_plan(3)  # event-loop-safe: tiny grid, sub-ms
+                """,
+            },
+        )
+        assert hits(tree, ["P6"]) == []
+
+    def test_bare_marker_without_reason_does_not_suppress(self, tmp_path):
+        tree = build_tree(
+            tmp_path,
+            SERVICE_PKG
+            | {
+                "repro/core/planner.py": "def dp_plan(n):\n    return n\n",
+                "repro/service/worker.py": """\
+                from repro.core.planner import dp_plan
+
+                async def tick():
+                    dp_plan(3)  # event-loop-safe:
+                """,
+            },
+        )
+        found = hits(tree, ["P6"])
+        assert found == ["P6 worker.py:4"], found
+
+    def test_standalone_marker_covers_next_line(self, tmp_path):
+        tree = build_tree(
+            tmp_path,
+            SERVICE_PKG
+            | {
+                "repro/core/planner.py": "def dp_plan(n):\n    return n\n",
+                "repro/service/worker.py": """\
+                from repro.core.planner import dp_plan
+
+                async def tick():
+                    # event-loop-safe: tiny grid, sub-ms
+                    dp_plan(3)
+                """,
+            },
+        )
+        assert hits(tree, ["P6"]) == []
+
+    def test_async_outside_service_layer_is_out_of_scope(self, tmp_path):
+        tree = build_tree(
+            tmp_path,
+            SERVICE_PKG
+            | {
+                "repro/runtime/worker.py": """\
+                import time
+
+                async def tick():
+                    time.sleep(0.1)
+                """,
+            },
+        )
+        assert hits(tree, ["P6"]) == []
+
+
+class TestP7OrphanCoroutines:
+    def test_discarded_create_task_handle(self, tmp_path):
+        tree = build_tree(
+            tmp_path,
+            SERVICE_PKG
+            | {
+                "repro/service/worker.py": """\
+                import asyncio
+
+                async def job():
+                    return 1
+
+                async def boot():
+                    asyncio.create_task(job())
+                """,
+            },
+        )
+        found = hits(tree, ["P7"])
+        assert found == ["P7 worker.py:7"], found
+
+    def test_retained_handle_is_clean(self, tmp_path):
+        tree = build_tree(
+            tmp_path,
+            SERVICE_PKG
+            | {
+                "repro/service/worker.py": """\
+                import asyncio
+
+                async def job():
+                    return 1
+
+                async def boot():
+                    task = asyncio.create_task(job())
+                    await task
+                """,
+            },
+        )
+        assert hits(tree, ["P7"]) == []
+
+    def test_done_callback_chain_is_clean(self, tmp_path):
+        tree = build_tree(
+            tmp_path,
+            SERVICE_PKG
+            | {
+                "repro/service/worker.py": """\
+                import asyncio
+
+                async def job():
+                    return 1
+
+                def report(task):
+                    task.exception()
+
+                async def boot():
+                    asyncio.create_task(job()).add_done_callback(report)
+                """,
+            },
+        )
+        assert hits(tree, ["P7"]) == []
+
+    def test_bare_coroutine_call_never_awaited(self, tmp_path):
+        tree = build_tree(
+            tmp_path,
+            SERVICE_PKG
+            | {
+                "repro/service/worker.py": """\
+                async def job():
+                    return 1
+
+                async def boot():
+                    job()
+
+                async def fine():
+                    await job()
+                """,
+            },
+        )
+        found = hits(tree, ["P7"])
+        assert found == ["P7 worker.py:5"], found
+
+
+class TestP8ExecutorSubmission:
+    def test_lambda_fn_is_flagged(self, tmp_path):
+        tree = build_tree(
+            tmp_path,
+            SERVICE_PKG
+            | {
+                "repro/runtime/task.py": "class Task:\n    pass\n",
+                "repro/runtime/grids.py": """\
+                from .task import Task
+
+                def build():
+                    return [Task(fn=lambda: 1, params={})]
+                """,
+            },
+        )
+        found = hits(tree, ["P8"])
+        assert found == ["P8 grids.py:4"], found
+
+    def test_nested_closure_fn_is_flagged(self, tmp_path):
+        tree = build_tree(
+            tmp_path,
+            SERVICE_PKG
+            | {
+                "repro/runtime/task.py": "class Task:\n    pass\n",
+                "repro/runtime/grids.py": """\
+                from .task import Task
+
+                def build(k):
+                    def cell():
+                        return k
+                    return Task(fn=cell, params={})
+                """,
+            },
+        )
+        found = hits(tree, ["P8"])
+        assert found == ["P8 grids.py:6"], found
+
+    def test_partial_fn_is_flagged(self, tmp_path):
+        tree = build_tree(
+            tmp_path,
+            SERVICE_PKG
+            | {
+                "repro/runtime/task.py": "class Task:\n    pass\n",
+                "repro/runtime/grids.py": """\
+                from functools import partial
+
+                from .task import Task
+
+                def cell(k):
+                    return k
+
+                def build():
+                    return Task(fn=partial(cell, 3), params={})
+                """,
+            },
+        )
+        found = hits(tree, ["P8"])
+        assert found == ["P8 grids.py:9"], found
+
+    def test_non_json_params_are_flagged(self, tmp_path):
+        tree = build_tree(
+            tmp_path,
+            SERVICE_PKG
+            | {
+                "repro/runtime/task.py": "class Task:\n    pass\n",
+                "repro/runtime/grids.py": """\
+                from .task import Task
+
+                def cell(k):
+                    return k
+
+                def build():
+                    return Task(fn=cell, params={"ids": {1, 2}})
+                """,
+            },
+        )
+        found = hits(tree, ["P8"])
+        assert found == ["P8 grids.py:7"], found
+
+    def test_pool_submit_lambda_is_flagged(self, tmp_path):
+        tree = build_tree(
+            tmp_path,
+            SERVICE_PKG
+            | {
+                "repro/runtime/executor.py": """\
+                def run(pool):
+                    return pool.submit(lambda: 1)
+                """,
+            },
+        )
+        found = hits(tree, ["P8"])
+        assert found == ["P8 executor.py:2"], found
+
+    def test_module_level_fn_with_json_params_is_clean(self, tmp_path):
+        tree = build_tree(
+            tmp_path,
+            SERVICE_PKG
+            | {
+                "repro/runtime/task.py": "class Task:\n    pass\n",
+                "repro/runtime/grids.py": """\
+                from .task import Task
+
+                def cell(k):
+                    return k
+
+                def build(pool):
+                    pool.submit(cell, 3)
+                    return Task(fn=cell, params={"k": [1, 2]})
+                """,
+            },
+        )
+        assert hits(tree, ["P8"]) == []
+
+
+RACE_HEADER = """\
+import asyncio
+
+class Service:
+    def __init__(self):
+        self.table: dict[str, str] = {}
+        self._lock = asyncio.Lock()
+
+"""
+
+RACE_MAIN = """\
+    async def main(self):
+        t1 = asyncio.create_task(self.writer_a())
+        t2 = asyncio.create_task(self.writer_b())
+        await asyncio.gather(t1, t2)
+"""
+
+
+class TestP9SharedStateRaces:
+    def test_two_roots_writing_one_container(self, tmp_path):
+        tree = build_tree(
+            tmp_path,
+            SERVICE_PKG
+            | {
+                "repro/service/svc.py": RACE_HEADER
+                + """\
+    async def writer_a(self):
+        self.table["a"] = "1"
+
+    async def writer_b(self):
+        self.table["b"] = "2"
+
+"""
+                + RACE_MAIN,
+            },
+        )
+        found = hits(tree, ["P9"])
+        assert found == ["P9 svc.py:9"], found
+
+    def test_lock_guarded_writes_are_clean(self, tmp_path):
+        tree = build_tree(
+            tmp_path,
+            SERVICE_PKG
+            | {
+                "repro/service/svc.py": RACE_HEADER
+                + """\
+    async def writer_a(self):
+        async with self._lock:
+            self.table["a"] = "1"
+
+    async def writer_b(self):
+        async with self._lock:
+            self.table["b"] = "2"
+
+"""
+                + RACE_MAIN,
+            },
+        )
+        assert hits(tree, ["P9"]) == []
+
+    def test_single_writer_root_is_clean(self, tmp_path):
+        tree = build_tree(
+            tmp_path,
+            SERVICE_PKG
+            | {
+                "repro/service/svc.py": RACE_HEADER
+                + """\
+    async def writer_a(self):
+        self.table["a"] = "1"
+
+    async def writer_b(self):
+        return len(self.table)
+
+"""
+                + RACE_MAIN,
+            },
+        )
+        assert hits(tree, ["P9"]) == []
+
+    def test_disable_comment_documents_ownership(self, tmp_path):
+        tree = build_tree(
+            tmp_path,
+            SERVICE_PKG
+            | {
+                "repro/service/svc.py": RACE_HEADER
+                + """\
+    async def writer_a(self):
+        # single atomic write per turn, no await splits it
+        # reprolint: disable=P9
+        self.table["a"] = "1"
+
+    async def writer_b(self):
+        self.table["b"] = "2"
+
+"""
+                + RACE_MAIN,
+            },
+        )
+        assert hits(tree, ["P9"]) == []
+
+
+HANDLER_HEADER = """\
+import asyncio
+
+class Server:
+    def __init__(self, registry):
+        self.registry = registry
+        self._count = registry.counter("requests_total", "req")
+        self.whitelist: set[str] = set()
+
+    async def start(self):
+        self._srv = await asyncio.start_server(self._handle, "", 0)
+
+"""
+
+
+class TestP10HotPathDiscipline:
+
+    def test_get_or_create_metric_on_request_path(self, tmp_path):
+        tree = build_tree(
+            tmp_path,
+            SERVICE_PKG
+            | {
+                "repro/service/svc.py": HANDLER_HEADER
+                + """\
+    async def _handle(self, reader, writer):
+        self.registry.counter("requests_total", "req").inc()
+""",
+            },
+        )
+        found = hits(tree, ["P10"])
+        assert found == ["P10 svc.py:13"], found
+
+    def test_container_scan_on_request_path(self, tmp_path):
+        tree = build_tree(
+            tmp_path,
+            SERVICE_PKG
+            | {
+                "repro/service/svc.py": HANDLER_HEADER
+                + """\
+    async def _handle(self, reader, writer):
+        return [c for c in self.whitelist if c]
+""",
+            },
+        )
+        found = hits(tree, ["P10"])
+        assert found == ["P10 svc.py:13"], found
+
+    def test_prebound_handle_and_membership_test_are_clean(self, tmp_path):
+        tree = build_tree(
+            tmp_path,
+            SERVICE_PKG
+            | {
+                "repro/service/svc.py": HANDLER_HEADER
+                + """\
+    async def _handle(self, reader, writer):
+        self._count.inc()
+        return "c" in self.whitelist
+""",
+            },
+        )
+        assert hits(tree, ["P10"]) == []
+
+    def test_scan_off_the_handler_path_is_clean(self, tmp_path):
+        tree = build_tree(
+            tmp_path,
+            SERVICE_PKG
+            | {
+                "repro/service/svc.py": HANDLER_HEADER
+                + """\
+    async def _handle(self, reader, writer):
+        self._count.inc()
+
+    def sweep(self):
+        return sorted(self.whitelist)
+""",
+            },
+        )
+        assert hits(tree, ["P10"]) == []
 
 
 class TestGraphExports:

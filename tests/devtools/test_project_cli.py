@@ -1,4 +1,5 @@
-"""CLI behaviour of ``repro-lint --project``: baselines, ratchet, graph."""
+"""CLI behaviour of ``repro-lint --project``: baselines, ratchet,
+graph, and the SARIF code-scanning reporter."""
 
 from __future__ import annotations
 
@@ -7,6 +8,7 @@ from pathlib import Path
 
 import pytest
 
+from repro.devtools import lint_project, render_sarif
 from repro.devtools.cli import main
 
 CLEAN_COMP = """\
@@ -63,6 +65,34 @@ def test_json_output_marks_project_scope(tree, capsys):
     assert [v["rule"] for v in payload["violations"]] == ["P3"]
     assert payload["baselined"] == []
     assert payload["stale_baseline"] == []
+
+
+def test_sarif_output_is_valid_code_scanning_payload(tree, capsys):
+    assert main(
+        ["--project", "--select", "P3", "--format", "sarif", str(tree)]
+    ) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["version"] == "2.1.0"
+    assert "sarif-schema-2.1.0" in payload["$schema"]
+    (run,) = payload["runs"]
+    driver = run["tool"]["driver"]
+    assert driver["name"] == "reprolint"
+    assert {r["id"] for r in driver["rules"]} == {"P3"}
+    (result,) = run["results"]
+    assert result["ruleId"] == "P3"
+    assert result["level"] == "error"
+    location = result["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"].endswith("comp.py")
+    assert location["region"]["startLine"] == 7
+    assert location["region"]["startColumn"] >= 1  # SARIF is 1-based
+
+
+def test_render_sarif_anchors_uris_at_the_given_base(tree, tmp_path):
+    report = lint_project([tree], select=["P3"])
+    payload = json.loads(render_sarif(report, base=tmp_path))
+    (result,) = payload["runs"][0]["results"]
+    uri = result["locations"][0]["physicalLocation"]["artifactLocation"]
+    assert uri["uri"] == "repro/cloudsim/comp.py"  # repo-relative POSIX
 
 
 def test_baseline_ratchet_workflow(tree, tmp_path, capsys):

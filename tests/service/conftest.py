@@ -2,9 +2,66 @@
 
 from __future__ import annotations
 
+import logging
+import os
+
 import pytest
 
 from repro.service import ServiceConfig
+
+#: seconds a single event-loop callback may run before the debug-mode
+#: job fails the test (asyncio's own slow-callback threshold is 0.1 s;
+#: CI sets a slightly looser budget to absorb scheduler noise).
+SLOW_CALLBACK_MAX = float(os.environ.get("REPRO_SLOW_CALLBACK_MAX", "0.25"))
+
+_SLOW_CALLBACK_MARKER = "Executing <"
+
+
+class _SlowCallbackCollector(logging.Handler):
+    """Collects asyncio debug-mode 'Executing <Handle ...> took N.NNN
+    seconds' warnings so the P6 discipline is enforced dynamically."""
+
+    def __init__(self) -> None:
+        super().__init__(level=logging.WARNING)
+        self.slow: list[str] = []
+
+    def emit(self, record: logging.LogRecord) -> None:
+        message = record.getMessage()
+        if _SLOW_CALLBACK_MARKER not in message or "took" not in message:
+            return
+        try:
+            seconds = float(message.rsplit("took", 1)[1].split()[0])
+        except (IndexError, ValueError):  # pragma: no cover
+            seconds = float("inf")
+        if seconds > SLOW_CALLBACK_MAX:
+            self.slow.append(message)
+
+
+@pytest.fixture(autouse=True)
+def _no_slow_event_loop_callbacks():
+    """Under ``PYTHONASYNCIODEBUG=1`` (the CI concurrency job), fail any
+    test whose event loop ran a callback longer than SLOW_CALLBACK_MAX.
+
+    This is the dynamic counterpart of reprolint's static P6 pass: the
+    linter proves no *known* blocking call sits on an async path; this
+    fixture catches the ones static analysis cannot see (CPU spikes,
+    pathological inputs, new dependencies).
+    """
+    if not os.environ.get("PYTHONASYNCIODEBUG"):
+        yield
+        return
+    collector = _SlowCallbackCollector()
+    asyncio_logger = logging.getLogger("asyncio")
+    asyncio_logger.addHandler(collector)
+    try:
+        yield
+    finally:
+        asyncio_logger.removeHandler(collector)
+    assert not collector.slow, (
+        "event-loop callbacks exceeded "
+        f"REPRO_SLOW_CALLBACK_MAX={SLOW_CALLBACK_MAX}s:\n"
+        + "\n".join(collector.slow)
+    )
 
 
 class FakeClock:

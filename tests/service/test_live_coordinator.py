@@ -292,6 +292,49 @@ class TestShuffle:
         assert n_active == 3  # straight one-for-one substitution
 
 
+class TestDetectLoopCrashSurface:
+    """A detect-loop death must be observable, not silently swallowed.
+
+    The loop runs as a fire-and-forget task; before the done-callback
+    was wired, an exception in a sweep vanished until process exit and
+    the coordinator kept claiming to run.
+    """
+
+    def test_sweep_exception_is_recorded_and_stops_the_service(
+        self, config
+    ):
+        async def scenario():
+            coordinator = ServiceCoordinator(config)
+            await coordinator.start()
+            try:
+                def boom():
+                    raise RuntimeError("sweep exploded")
+
+                coordinator.pool.attacked = boom  # type: ignore[assignment]
+                for _ in range(200):
+                    await asyncio.sleep(config.detection_interval)
+                    if coordinator.detect_error is not None:
+                        break
+                return coordinator.detect_error, coordinator._running
+            finally:
+                await coordinator.stop()
+
+        error, running = asyncio.run(scenario())
+        assert isinstance(error, RuntimeError)
+        assert str(error) == "sweep exploded"
+        assert not running  # the coordinator no longer claims liveness
+
+    def test_clean_stop_records_no_error(self, config):
+        async def scenario():
+            coordinator = ServiceCoordinator(config)
+            await coordinator.start()
+            await asyncio.sleep(config.detection_interval * 2)
+            await coordinator.stop()
+            return coordinator.detect_error
+
+        assert asyncio.run(scenario()) is None
+
+
 class TestQuarantineConvergence:
     def test_requires_calm_streak(self, config):
         coordinator = ServiceCoordinator(config)

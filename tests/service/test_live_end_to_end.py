@@ -9,6 +9,8 @@ leave at least 95% of benign clients on bot-free replicas.
 
 from __future__ import annotations
 
+import os
+
 import pytest
 
 from repro.service import (
@@ -18,7 +20,16 @@ from repro.service import (
     shuffle_budget,
 )
 
-pytestmark = pytest.mark.slow
+pytestmark = [
+    pytest.mark.slow,
+    # Debug mode traces every callback (~3x loop overhead), which makes
+    # the 60 s convergence budget meaningless; the CI debug job covers
+    # the unit/integration tier and skips this acceptance scenario.
+    pytest.mark.skipif(
+        bool(os.environ.get("PYTHONASYNCIODEBUG")),
+        reason="asyncio debug instrumentation breaks the live timing budget",
+    ),
+]
 
 
 def test_live_botnet_is_quarantined_within_budget():

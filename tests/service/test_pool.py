@@ -78,6 +78,48 @@ def test_retire_unknown_id_is_a_noop(config):
     assert asyncio.run(scenario()) == 3
 
 
+def test_active_index_stays_coherent_under_churn(config):
+    """``active()`` is served from an O(1) index, not a fleet scan; the
+    index must track spawn/retire churn exactly (order included)."""
+
+    async def scenario():
+        pool = ReplicaPool(config)
+        await pool.start()
+        try:
+            await pool.retire("r-2")
+            await pool.spawn()
+            await pool.retire("r-1")
+            expected = [
+                b.replica_id
+                for b in pool.backends.values()
+                if b.is_active
+            ]
+            return [b.replica_id for b in pool.active()], expected
+        finally:
+            await pool.stop()
+
+    indexed, scanned = asyncio.run(scenario())
+    assert indexed == scanned == ["r-3", "r-4"]
+
+
+def test_concurrent_retires_leave_no_ghosts(config):
+    """Racing retires of the same replica must be idempotent: the lock
+    serialises membership mutation so the counter moves once."""
+
+    async def scenario():
+        pool = ReplicaPool(config)
+        await pool.start()
+        try:
+            await asyncio.gather(*(pool.retire("r-1") for _ in range(4)))
+            return pool.n_active, sorted(pool.retired)
+        finally:
+            await pool.stop()
+
+    n_active, retired = asyncio.run(scenario())
+    assert n_active == 2
+    assert retired == ["r-1"]
+
+
 def test_attacked_reports_saturated_backends_only(config):
     async def scenario():
         pool = ReplicaPool(config)
