@@ -42,7 +42,7 @@ def max_estimable_bots(n_replicas: int) -> float:
         raise ValueError(
             f"n_replicas={n_replicas} must be >= 2 for the bound to exist"
         )
-    return math.log(1.0 / n_replicas) / math.log(1.0 - 1.0 / n_replicas)
+    return math.log(1.0 / n_replicas) / math.log1p(-1.0 / n_replicas)
 
 
 def all_attacked_with_high_probability(n_replicas: int, n_bots: int) -> bool:

@@ -37,7 +37,69 @@ __all__ = [
     "expected_saved_single_many",
     "hypergeometric_pmf",
     "hypergeometric_pmf_vector",
+    "logsumexp",
+    "log1mexp",
 ]
+
+#: Mächler's split point for :func:`log1mexp` (arXiv accuracy note on
+#: ``log1mexp``/``log1pexp``): below ``log 1/2`` the ``log1p(-exp(x))``
+#: branch is more accurate, above it ``log(-expm1(x))`` is.
+_LOG_HALF = math.log(0.5)
+
+
+def logsumexp(log_values: np.ndarray) -> float:
+    """Stable ``log(sum(exp(log_values)))`` over an array of logs.
+
+    The peak is factored out before exponentiation, so intermediate sums
+    stay in float range even when entries reach magnitudes around
+    ``±10^6`` (paper scale: ``log C(N, M)`` for ``N = 150,000`` is a few
+    hundred thousand).  ``-inf`` entries (``log 0``) drop out naturally;
+    an empty or all-``-inf`` input returns ``-inf``.
+
+    Example::
+
+        >>> probs = np.array([0.25, 0.25, 0.5])
+        >>> abs(logsumexp(np.log(probs))) < 1e-12  # log(sum) = log 1
+        True
+    """
+    arr = np.asarray(log_values, dtype=np.float64)
+    if arr.size == 0:
+        return float("-inf")
+    peak = float(np.max(arr))
+    if math.isinf(peak):
+        # All -inf (every term is log 0), or a +inf term dominates.
+        return peak
+    # This is the canonical implementation the P13 log(sum(exp)) finding
+    # points callers at — the one place the naive shape is the algorithm.
+    # reprolint: disable=P13
+    return peak + math.log(float(np.sum(np.exp(arr - peak))))
+
+
+def log1mexp(x: float) -> float:
+    """Stable ``log(1 - exp(x))`` for ``x <= 0`` — the log-complement.
+
+    Computing the complement of a probability held in log-space (e.g.
+    "at least one replica attacked" from a bot-free log-probability)
+    via ``log(1 - exp(x))`` loses all precision when ``x`` is near 0 or
+    very negative; this uses Mächler's two-branch form instead.
+
+    Example::
+
+        >>> abs(log1mexp(math.log(0.5)) - math.log(0.5)) < 1e-15
+        True
+    """
+    if x > 0.0:
+        raise ValueError(f"log1mexp requires x <= 0, got {x}")
+    # exact-sentinel: x == 0 exactly means exp(x) == 1, so log(0) = -inf
+    if x == 0.0:
+        return float("-inf")
+    if x > _LOG_HALF:
+        # exp(x) near 1: expm1 keeps the cancellation out of the log.
+        return math.log(-math.expm1(x))
+    # exp(x) small: log1p absorbs it without cancellation.  Canonical
+    # implementation of the shape the P13 log1p(-exp(x)) finding flags.
+    # reprolint: disable=P13
+    return math.log1p(-math.exp(x))
 
 
 @lru_cache(maxsize=1 << 20)
@@ -51,6 +113,7 @@ def log_binomial(n: int, k: int) -> float:
     if k < 0 or k > n or n < 0:
         return float("-inf")
     if k == 0 or k == n:
+        # domain: log log C(n, 0) = log C(n, n) = log 1 = 0
         return 0.0
     return (
         math.lgamma(n + 1) - math.lgamma(k + 1) - math.lgamma(n - k + 1)
@@ -68,6 +131,10 @@ def binomial_ratio(n1: int, k1: int, n2: int, k2: int) -> float:
     log_num = log_binomial(n1, k1)
     if math.isinf(log_num):
         return 0.0
+    # A *generic* coefficient ratio may legitimately exceed 1 (callers
+    # like survival_probability clamp at their own boundary where the
+    # [0, 1] contract actually holds).
+    # reprolint: disable=P12
     return math.exp(log_num - log_den)
 
 
@@ -89,7 +156,10 @@ def survival_probability(n: int, m: int, x: int) -> float:
         raise ValueError(f"m={m} must be within [0, {n}]")
     if m == 0:
         return 1.0
-    return binomial_ratio(n - x, m, n, m)
+    # C(n-x, m) <= C(n, m), but the two lgamma sums cancel differently,
+    # so exp() can land a few ulp above 1 (the survival_probabilities
+    # clip bug class); clamp at the probability boundary.
+    return min(1.0, binomial_ratio(n - x, m, n, m))
 
 
 def survival_probabilities(n: int, m: int, xs: np.ndarray) -> np.ndarray:
@@ -130,6 +200,7 @@ def survival_probabilities(n: int, m: int, xs: np.ndarray) -> np.ndarray:
 
 def _lgamma(values: np.ndarray | float) -> np.ndarray:
     """``lgamma`` broadcast over numpy arrays."""
+    # domain: log vectorized lgamma (scipy gammaln or np.vectorize)
     return _VECTOR_LGAMMA(values)
 
 
@@ -181,7 +252,7 @@ def hypergeometric_pmf(total: int, marked: int, draws: int, hits: int) -> float:
     )
     if math.isinf(log_num):
         return 0.0
-    return math.exp(log_num - log_den)
+    return min(1.0, math.exp(log_num - log_den))
 
 
 def hypergeometric_pmf_vector(total: int, marked: int, draws: int) -> np.ndarray:
@@ -209,4 +280,4 @@ def hypergeometric_pmf_vector(total: int, marked: int, draws: int) -> np.ndarray
     # Entries where (a - b) > (N - M) are impossible: C(rest, a-b) = 0.
     impossible = rest_draws > restf
     logs = np.where(impossible, -np.inf, logs)
-    return np.exp(logs)
+    return np.clip(np.exp(logs), 0.0, 1.0)

@@ -208,8 +208,8 @@ def estimate_bots_moment(
             upper_bound=upper_bound,
             degenerate=True,
         )
-    raw = math.log(1.0 - n_attacked / n_replicas) / math.log(
-        1.0 - 1.0 / n_replicas
+    raw = math.log1p(-(n_attacked / n_replicas)) / math.log1p(
+        -1.0 / n_replicas
     )
     m_hat = max(n_attacked, min(upper_bound, round(raw)))
     return BotEstimate(

@@ -14,14 +14,20 @@ invariants the paper's math demands but Python itself cannot enforce:
   annotations ``mypy --strict`` needs (rules R5/R6).
 
 The per-file R-series is complemented by whole-program project rules
-(P1-P10, ``repro-lint --project``) living in :mod:`.program`: import
+(P1-P14, ``repro-lint --project``) living in :mod:`.program`: import
 layering contracts, interprocedural RNG provenance, determinism
 dataflow into the DES event queue, wall-clock bans, dead-export
-detection, and the concurrency-era passes (event-loop blocking, orphan
+detection, the concurrency-era passes (event-loop blocking, orphan
 coroutines, executor pickling safety, shared-state races, hot-path
-discipline) — with a committed baseline/ratchet file
-(``.reprolint-baseline.json``), an import-graph export (``--graph``),
-and a SARIF 2.1.0 reporter (``--format sarif``) for code scanning.
+discipline), and the numeric-era passes (log/linear domain confusion,
+probability-range escapes, stability anti-patterns, and the
+vectorization-readiness ratchet, over the :mod:`.program.numflow`
+value-domain index with its ``# domain: <log|linear> <reason>``
+annotation) — with committed baseline/ratchet files
+(``.reprolint-baseline.json``, ``.reprolint-p14-baseline.json``), an
+incremental mode (``--changed [REF]``), an import-graph export
+(``--graph``), and a SARIF 2.1.0 reporter (``--format sarif``) for
+code scanning.
 
 See ``docs/static-analysis.md`` for the full rule catalogue and
 suppression syntax, and ``docs/import-graph.md`` for the layering

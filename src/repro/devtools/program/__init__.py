@@ -8,7 +8,7 @@ the DES must never depend on ``set``/``dict`` hash order, and package
 layering must keep the algorithmic ``core`` free of simulator
 dependencies.  This subpackage builds one :class:`ProgramContext` over
 the whole tree — module index, import graph, approximate call graph —
-and runs the project rules (P1-P10) on it:
+and runs the project rules (P1-P14) on it:
 
 - **P1** ``import-layering`` — declared package layering contract over
   the import graph (``core`` -> stdlib/numpy only; ``sim``/``analysis``
@@ -49,6 +49,25 @@ reachability, attribute writes):
   use pre-bound metric handles and O(1) lookups (no get-or-create
   registry calls, no O(N) container scans per request).
 
+The numeric era adds a value-domain dataflow index (:mod:`numflow`:
+log-prob / linear-prob / count / float lattice inferred from
+provenance, with interprocedural return summaries) and four passes over
+it:
+
+- **P11** ``log-domain-confusion`` — log-probabilities used on the
+  linear scale: mixed arithmetic, ``sum()`` over logs, log-vs-linear
+  comparisons, unclamped ``exp()`` of full-magnitude logs.
+- **P12** ``probability-range-escape`` — exp-derived probabilities
+  returned from ``core``/``sim``/``analysis`` without a clip or a
+  ``# domain: linear <reason>`` validated-boundary annotation.
+- **P13** ``numeric-stability`` — shapes with strictly better stable
+  forms: ``log(1-x)`` -> ``log1p``, ``log(sum(exp))`` -> ``logsumexp``,
+  lgamma differences outside the combinatorics module, unguarded
+  division by possibly-zero counts.
+- **P14** ``vectorization-readiness`` — the ratcheted inventory of
+  scalar accumulation loops in ``core/`` the ROADMAP vectorization
+  item must burn down (committed ``.reprolint-p14-baseline.json``).
+
 See ``docs/static-analysis.md`` for the full catalogue and the
 baseline/ratchet workflow, and ``docs/import-graph.md`` for the rendered
 layering graph.
@@ -66,15 +85,17 @@ from .baseline import (
 from .context import ModuleInfo, ProgramContext
 from .graph import LAYER_CONTRACT, ImportEdge, render_dot, render_graph_json
 
-# Importing the pass modules registers every project rule (P1-P10).
+# Importing the pass modules registers every project rule (P1-P14).
 from . import api as _api  # noqa: F401
 from . import concurrency as _concurrency  # noqa: F401
 from . import determinism as _determinism  # noqa: F401
 from . import executor_safety as _executor_safety  # noqa: F401
 from . import graph as _graph  # noqa: F401
 from . import hotpath as _hotpath  # noqa: F401
+from . import numeric as _numeric  # noqa: F401
 from . import races as _races  # noqa: F401
 from . import rng as _rng  # noqa: F401
+from . import vectorize as _vectorize  # noqa: F401
 
 __all__ = [
     "Baseline",

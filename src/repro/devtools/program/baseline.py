@@ -14,6 +14,12 @@ Entries are fingerprinted by ``(rule, path, message)`` — deliberately
 *not* the line number, so unrelated edits that shift code do not churn
 the file.  Identical violations on several lines of one file collapse
 into one entry with a count.
+
+Paths are canonicalised relative to the baseline file's own directory
+(the repo root for the committed ratchets), so a run over an absolute
+target (``lint_project([REPO/"src"/"repro"])``) and a run over a
+relative one (``repro-lint src/repro``) fingerprint identically and
+the committed file stays machine-portable.
 """
 
 from __future__ import annotations
@@ -34,10 +40,24 @@ __all__ = [
 _VERSION = 1
 
 
-def _fingerprint(violation: Violation) -> tuple[str, str, str]:
+def _canonical(path: str, anchor: Path | None) -> str:
+    """Anchor-relative POSIX form of ``path`` when it lies under the
+    anchor; its resolved absolute form otherwise."""
+    if anchor is None:
+        return PurePosixPath(path).as_posix()
+    resolved = Path(path).resolve()
+    try:
+        return resolved.relative_to(anchor).as_posix()
+    except ValueError:
+        return resolved.as_posix()
+
+
+def _fingerprint(
+    violation: Violation, anchor: Path | None
+) -> tuple[str, str, str]:
     return (
         violation.rule_id,
-        PurePosixPath(violation.path).as_posix(),
+        _canonical(violation.path, anchor),
         violation.message,
     )
 
@@ -47,6 +67,8 @@ class Baseline:
     """The committed debt record: fingerprint -> allowed count."""
 
     entries: dict[tuple[str, str, str], int] = field(default_factory=dict)
+    #: directory of the baseline file — paths canonicalise against it
+    anchor: Path | None = None
 
     @property
     def total(self) -> int:
@@ -68,26 +90,35 @@ class BaselineComparison:
 
 def load_baseline(path: Path | str) -> Baseline:
     path = Path(path)
+    anchor = path.resolve().parent
     if not path.exists():
-        return Baseline()
+        return Baseline(anchor=anchor)
     payload = json.loads(path.read_text(encoding="utf-8"))
     if payload.get("version") != _VERSION:
         raise ValueError(
             f"unsupported baseline version in {path}: "
             f"{payload.get('version')!r}"
         )
-    baseline = Baseline()
+    baseline = Baseline(anchor=anchor)
     for entry in payload.get("entries", []):
-        key = (entry["rule"], entry["path"], entry["message"])
+        # Stored paths are anchor-relative already; an absolute one
+        # (hand-edited or legacy) is re-anchored on the way in.
+        entry_path = entry["path"]
+        if Path(entry_path).is_absolute():
+            entry_path = _canonical(entry_path, anchor)
+        else:
+            entry_path = PurePosixPath(entry_path).as_posix()
+        key = (entry["rule"], entry_path, entry["message"])
         baseline.entries[key] = int(entry.get("count", 1))
     return baseline
 
 
 def write_baseline(path: Path | str, violations: list[Violation]) -> None:
     """Serialize ``violations`` as the new committed baseline."""
+    anchor = Path(path).resolve().parent
     counts: dict[tuple[str, str, str], int] = {}
     for violation in violations:
-        key = _fingerprint(violation)
+        key = _fingerprint(violation, anchor)
         counts[key] = counts.get(key, 0) + 1
     payload = {
         "version": _VERSION,
@@ -116,7 +147,7 @@ def compare(
     remaining = dict(baseline.entries)
     comparison = BaselineComparison()
     for violation in sorted(violations):
-        key = _fingerprint(violation)
+        key = _fingerprint(violation, baseline.anchor)
         if remaining.get(key, 0) > 0:
             remaining[key] -= 1
             comparison.baselined.append(violation)

@@ -1,0 +1,591 @@
+"""Numeric value-domain dataflow shared by the numeric passes (P11-P14).
+
+The paper's estimator chain works almost entirely in log-space: every
+probability is a ratio of binomial coefficients computed via
+``math.lgamma`` and exponentiated last (see
+:mod:`repro.core.combinatorics`).  That convention is invisible to the
+type system — a log-probability, a linear probability, and a replica
+count are all ``float`` — so confusing the domains produces silently
+wrong numbers, not exceptions.  This module makes the convention a
+checked property: a small value-domain lattice inferred from
+*provenance*, per-function flow-insensitive environments, and
+interprocedural return summaries iterated to a fixpoint over the
+:class:`~repro.devtools.program.callgraph.CallGraph`.
+
+The lattice (:class:`Domain`):
+
+- ``LOG`` — born from ``lgamma``/``log``/``log1p``/``logsumexp``/...;
+- ``LINEAR_RAW`` — crossed ``exp``/``expm1`` back to linear scale but
+  was never clamped: cancellation and ulp leaks can push it outside
+  ``[0, 1]`` (the PR 1 ``survival_probabilities`` clip bug class);
+- ``LINEAR`` — a validated probability: a ``[0, 1]`` float constant, a
+  ``np.clip(x, 0, 1)``/``min(1.0, raw)`` result, or annotated
+  ``# domain: linear <reason>``;
+- ``COUNT`` — integer cardinalities (``len``, ``int``, ``np.arange``);
+- ``FLOAT`` — an unconstrained float (ratios of logs, products of a
+  count and a probability, ...);
+- ``NEUTRAL`` — ``±inf``/``nan`` sentinels, which belong to *every*
+  domain (``-inf`` is both ``log 0`` and a valid linear lower bound)
+  and therefore join as the identity;
+- ``UNKNOWN`` — no provenance (parameters, attributes, foreign calls).
+
+Inference deliberately over-approximates in the direction that asks for
+a justification comment rather than the direction that hides a bug,
+matching the other shared indices (:mod:`asyncflow`).  The
+``# domain: <log|linear> <reason>`` annotation (parsed in
+:mod:`repro.devtools.suppressions`) pins a statement's domain where
+provenance cannot see it — e.g. ``log_binomial``'s ``return 0.0`` arm,
+which *is* ``log 1``.
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+import weakref
+from dataclasses import dataclass, field
+
+from .callgraph import CallGraph, FunctionInfo, build_call_graph
+from .context import ProgramContext
+
+__all__ = [
+    "Domain",
+    "NumericIndex",
+    "get_numeric_index",
+    "join",
+]
+
+#: fixpoint cap for the interprocedural summary iteration.  Summaries
+#: can only move up a finite lattice, so convergence is guaranteed; the
+#: cap bounds pathological call cycles.
+_MAX_SUMMARY_PASSES = 5
+
+#: log-bearing call names: calling one of these *produces* a log-domain
+#: value.  ``log``/``exp`` are only trusted under a math/numpy receiver
+#: (a bare ``logger.log`` must not poison the analysis); the rest are
+#: distinctive enough to accept from any receiver.
+_LOG_BEARERS = frozenset(
+    {
+        "lgamma",
+        "gammaln",
+        "log1p",
+        "log2",
+        "log10",
+        "logaddexp",
+        "logsumexp",
+        "log1mexp",
+        "xlogy",
+    }
+)
+_GUARDED_LOG = frozenset({"log"})
+_EXP_NAMES = frozenset({"exp", "expm1"})
+_NUMERIC_RECEIVERS = frozenset({"math", "np", "numpy"})
+
+#: names whose value is an integer cardinality.
+_COUNT_CALLS = frozenset({"len", "int", "round", "arange", "ord", "range"})
+
+#: array constructors whose elements are probabilities by construction.
+_PROB_CONSTRUCTORS = frozenset({"zeros", "ones", "zeros_like", "ones_like"})
+#: array constructors of unconstrained floats.
+_FLOAT_CONSTRUCTORS = frozenset({"empty", "empty_like", "full_like"})
+
+#: calls transparent to the element domain of their first argument.
+_TRANSPARENT_CALLS = frozenset(
+    {"asarray", "array", "abs", "fabs", "float", "copy", "ascontiguousarray"}
+)
+
+
+class Domain(enum.Enum):
+    """One point of the numeric value-domain lattice."""
+
+    NEUTRAL = "neutral"
+    LOG = "log"
+    LINEAR_RAW = "linear-raw"
+    LINEAR = "linear"
+    COUNT = "count"
+    FLOAT = "float"
+    UNKNOWN = "unknown"
+
+    @property
+    def is_linear_prob(self) -> bool:
+        return self in (Domain.LINEAR, Domain.LINEAR_RAW)
+
+
+def join(a: Domain, b: Domain) -> Domain:
+    """Least upper bound of two domains.
+
+    ``NEUTRAL`` (±inf/nan sentinels) is the identity; mixing ``LOG``
+    with any informative non-log domain yields ``UNKNOWN`` (the mix is
+    exactly what P11 flags at the *operation* level — the joined value
+    itself no longer has a trustworthy domain).
+    """
+    if a is b:
+        return a
+    if a is Domain.NEUTRAL:
+        return b
+    if b is Domain.NEUTRAL:
+        return a
+    if Domain.UNKNOWN in (a, b):
+        return Domain.UNKNOWN
+    if Domain.LOG in (a, b):
+        return Domain.UNKNOWN
+    if a.is_linear_prob and b.is_linear_prob:
+        # raw taints: the joined value may still escape [0, 1].
+        return Domain.LINEAR_RAW
+    if Domain.FLOAT in (a, b):
+        return Domain.FLOAT
+    # COUNT with LINEAR/LINEAR_RAW: an int that is sometimes a
+    # probability is just a float.
+    return Domain.FLOAT
+
+
+def join_all(domains: list[Domain]) -> Domain:
+    result = Domain.NEUTRAL
+    for domain in domains:
+        result = join(result, domain)
+    return result
+
+
+@dataclass
+class NumericIndex:
+    """Program-wide numeric dataflow facts, built once per lint run."""
+
+    graph: CallGraph
+    #: qualname -> inferred domain of the function's return value
+    summaries: dict[str, Domain] = field(default_factory=dict)
+    #: qualname -> (local name -> inferred domain)
+    envs: dict[str, dict[str, Domain]] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------
+    def env_of(self, qualname: str) -> dict[str, Domain]:
+        return self.envs.get(qualname, {})
+
+    def summary_of(self, qualname: str) -> Domain:
+        return self.summaries.get(qualname, Domain.UNKNOWN)
+
+    def evaluator(self, fn: FunctionInfo) -> "Evaluator":
+        """A node-level domain evaluator bound to ``fn``'s environment."""
+        return Evaluator(self, fn, self.env_of(fn.qualname))
+
+
+_CACHE: "weakref.WeakKeyDictionary[ProgramContext, NumericIndex]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def get_numeric_index(program: ProgramContext) -> NumericIndex:
+    """The (cached) numeric dataflow index for ``program``."""
+    index = _CACHE.get(program)
+    if index is None:
+        index = _build_index(program)
+        _CACHE[program] = index
+    return index
+
+
+# ----------------------------------------------------------------------
+# construction
+# ----------------------------------------------------------------------
+def _build_index(program: ProgramContext) -> NumericIndex:
+    graph = build_call_graph(program)
+    index = NumericIndex(graph=graph)
+    functions = [
+        fn
+        for fn in graph.functions.values()
+        if not fn.module.startswith("<")  # consumers never contribute
+    ]
+    for _ in range(_MAX_SUMMARY_PASSES):
+        changed = False
+        for fn in functions:
+            env = _build_env(index, fn)
+            index.envs[fn.qualname] = env
+            summary = _return_summary(index, fn, env)
+            if index.summaries.get(fn.qualname) is not summary:
+                index.summaries[fn.qualname] = summary
+                changed = True
+        if not changed:
+            break
+    return index
+
+
+def _domain_marker(index: NumericIndex, fn: FunctionInfo) -> object:
+    info = index.graph.program.modules.get(fn.module)
+    if info is None:
+        return None
+    return info.ctx.suppressions
+
+
+def _pinned(index: NumericIndex, fn: FunctionInfo, line: int) -> Domain | None:
+    """The ``# domain:`` annotation covering ``line``, if any."""
+    sup = _domain_marker(index, fn)
+    pinned = sup.domain_at(line) if sup is not None else None
+    if pinned == "log":
+        return Domain.LOG
+    if pinned == "linear":
+        return Domain.LINEAR
+    return None
+
+
+def _build_env(index: NumericIndex, fn: FunctionInfo) -> dict[str, Domain]:
+    """Flow-insensitive name -> domain map for one function body.
+
+    Every assignment *joins* into the name's domain (no kills), and the
+    statement walk runs twice so uses textually before their defining
+    assignment still see it — the cheap approximation that matches the
+    over-report-rather-than-miss posture of the other indices.
+    """
+    env: dict[str, Domain] = {}
+    evaluator = Evaluator(index, fn, env)
+    for _ in range(2):
+        for node in _source_order_walk(fn.node):
+            _absorb_statement(index, fn, node, env, evaluator)
+    return env
+
+
+def _source_order_walk(node: ast.AST) -> "ast.AST":
+    """Depth-first preorder walk — unlike ``ast.walk`` (breadth-first),
+    statements are visited in source order, so a self-referential
+    rebinding (``logs = np.where(mask, -np.inf, logs)``) sees the
+    domain its earlier textual binding established instead of reading
+    the name unbound."""
+    for child in ast.iter_child_nodes(node):
+        yield child
+        yield from _source_order_walk(child)
+
+
+def _absorb_statement(
+    index: NumericIndex,
+    fn: FunctionInfo,
+    node: ast.AST,
+    env: dict[str, Domain],
+    evaluator: "Evaluator",
+) -> None:
+    if isinstance(node, ast.Assign):
+        pinned = _pinned(index, fn, node.lineno)
+        value = pinned or evaluator.domain_of(node.value)
+        for target in node.targets:
+            _bind_target(target, value, env)
+    elif isinstance(node, ast.AnnAssign) and node.value is not None:
+        pinned = _pinned(index, fn, node.lineno)
+        value = pinned or evaluator.domain_of(node.value)
+        _bind_target(node.target, value, env)
+    elif isinstance(node, ast.AugAssign):
+        if isinstance(node.target, ast.Name):
+            current = env.get(node.target.id, Domain.NEUTRAL)
+            value = _binop_domain(
+                type(node.op), current, evaluator.domain_of(node.value)
+            )
+            env[node.target.id] = join(current, value)
+    elif isinstance(node, (ast.For, ast.AsyncFor)):
+        # Iterating an array/sequence yields its element domain.
+        _bind_target(node.target, evaluator.domain_of(node.iter), env)
+    elif isinstance(node, ast.NamedExpr) and isinstance(
+        node.target, ast.Name
+    ):
+        env[node.target.id] = join(
+            env.get(node.target.id, Domain.NEUTRAL),
+            evaluator.domain_of(node.value),
+        )
+
+
+def _bind_target(
+    target: ast.AST, value: Domain, env: dict[str, Domain]
+) -> None:
+    if isinstance(target, ast.Name):
+        env[target.id] = join(env.get(target.id, Domain.NEUTRAL), value)
+    elif isinstance(target, ast.Subscript) and isinstance(
+        target.value, ast.Name
+    ):
+        # Storing into a slice refines the array's element domain.
+        name = target.value.id
+        env[name] = join(env.get(name, Domain.NEUTRAL), value)
+    elif isinstance(target, (ast.Tuple, ast.List)):
+        for element in target.elts:
+            _bind_target(element, Domain.UNKNOWN, env)
+
+
+def _return_summary(
+    index: NumericIndex, fn: FunctionInfo, env: dict[str, Domain]
+) -> Domain:
+    evaluator = Evaluator(index, fn, env)
+    returned: list[Domain] = []
+    for node in ast.walk(fn.node):
+        if isinstance(node, ast.Return) and node.value is not None:
+            pinned = _pinned(index, fn, node.lineno)
+            returned.append(pinned or evaluator.domain_of(node.value))
+    if not returned:
+        return Domain.UNKNOWN
+    return join_all(returned)
+
+
+# ----------------------------------------------------------------------
+# node evaluation
+# ----------------------------------------------------------------------
+def _binop_domain(op: type, left: Domain, right: Domain) -> Domain:
+    """Result domain of ``left <op> right``."""
+    if Domain.NEUTRAL in (left, right):
+        other = right if left is Domain.NEUTRAL else left
+        return other
+    if op in (ast.Add, ast.Sub):
+        if Domain.LOG in (left, right):
+            other = right if left is Domain.LOG else left
+            if other is Domain.LOG:
+                return Domain.LOG
+            if other in (Domain.COUNT, Domain.FLOAT):
+                # shifting/scaling a log by a constant keeps it a log
+                return Domain.LOG
+            return Domain.UNKNOWN
+        if left.is_linear_prob and right.is_linear_prob:
+            if op is ast.Sub:
+                # 1 - p (complement) stays a probability; raw taints.
+                if Domain.LINEAR_RAW in (left, right):
+                    return Domain.LINEAR_RAW
+                return Domain.LINEAR
+            return Domain.FLOAT  # p + q may exceed 1
+        if left is Domain.COUNT and right is Domain.COUNT:
+            return Domain.COUNT
+        if Domain.UNKNOWN in (left, right):
+            return Domain.UNKNOWN
+        return Domain.FLOAT
+    if op is ast.Mult:
+        if Domain.LOG in (left, right):
+            other = right if left is Domain.LOG else left
+            if other in (Domain.COUNT, Domain.FLOAT):
+                return Domain.LOG  # n * log p is a log of a power
+            return Domain.UNKNOWN
+        if left.is_linear_prob and right.is_linear_prob:
+            if Domain.LINEAR_RAW in (left, right):
+                return Domain.LINEAR_RAW
+            return Domain.LINEAR  # p * q stays within [0, 1]
+        if left is Domain.COUNT and right is Domain.COUNT:
+            return Domain.COUNT
+        if Domain.UNKNOWN in (left, right):
+            return Domain.UNKNOWN
+        return Domain.FLOAT
+    if op is ast.Div:
+        # True division always yields an unconstrained float, whatever
+        # the operand domains (a ratio of logs is not a log).
+        return Domain.FLOAT
+    if op in (ast.FloorDiv, ast.Mod):
+        if left is Domain.COUNT and right is Domain.COUNT:
+            return Domain.COUNT
+        if Domain.UNKNOWN in (left, right):
+            return Domain.UNKNOWN
+        return Domain.FLOAT
+    if op in (ast.Pow, ast.MatMult):
+        if Domain.UNKNOWN in (left, right):
+            return Domain.UNKNOWN
+        return Domain.FLOAT
+    return Domain.UNKNOWN
+
+
+def _receiver_name(func: ast.AST) -> str | None:
+    if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+        return func.value.id
+    return None
+
+
+def _call_name(call: ast.Call) -> str | None:
+    if isinstance(call.func, ast.Attribute):
+        return call.func.attr
+    if isinstance(call.func, ast.Name):
+        return call.func.id
+    return None
+
+
+def _is_one(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and node.value in (1, 1.0)
+
+
+def _is_zero(node: ast.AST) -> bool:
+    return isinstance(node, ast.Constant) and node.value in (0, 0.0)
+
+
+def _is_inf_literal(node: ast.AST) -> bool:
+    """``float("inf")``/``float("-inf")``/``float("nan")`` sentinels."""
+    if not (isinstance(node, ast.Call) and _call_name(node) == "float"):
+        return False
+    if len(node.args) != 1:
+        return False
+    arg = node.args[0]
+    return isinstance(arg, ast.Constant) and isinstance(
+        arg.value, str
+    ) and arg.value.lstrip("+-") in ("inf", "infinity", "nan")
+
+
+class Evaluator:
+    """Domain evaluation of expression nodes within one function."""
+
+    def __init__(
+        self,
+        index: NumericIndex,
+        fn: FunctionInfo,
+        env: dict[str, Domain],
+    ) -> None:
+        self.index = index
+        self.fn = fn
+        self.env = env
+        self._sites = {
+            (site.node_line, site.node_col): site
+            for site in index.graph.calls_in(fn.qualname)
+        }
+
+    # ------------------------------------------------------------------
+    def domain_of(self, node: ast.AST) -> Domain:
+        if isinstance(node, ast.Constant):
+            return self._constant(node)
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id, Domain.UNKNOWN)
+        if isinstance(node, ast.UnaryOp):
+            return self.domain_of(node.operand)
+        if isinstance(node, ast.Attribute):
+            return self._attribute(node)
+        if isinstance(node, ast.BinOp):
+            return _binop_domain(
+                type(node.op),
+                self.domain_of(node.left),
+                self.domain_of(node.right),
+            )
+        if isinstance(node, ast.Call):
+            return self._call(node)
+        if isinstance(node, ast.IfExp):
+            return join(
+                self.domain_of(node.body), self.domain_of(node.orelse)
+            )
+        if isinstance(node, ast.Subscript):
+            # An element inherits the array's element domain.
+            return self.domain_of(node.value)
+        if isinstance(node, ast.Compare):
+            return Domain.COUNT  # booleans behave as 0/1 counts
+        if isinstance(node, (ast.List, ast.Tuple, ast.Set)):
+            return join_all([self.domain_of(e) for e in node.elts])
+        if isinstance(node, ast.ListComp):
+            return self.domain_of(node.elt)
+        if isinstance(node, ast.GeneratorExp):
+            return self.domain_of(node.elt)
+        if isinstance(node, ast.Starred):
+            return self.domain_of(node.value)
+        return Domain.UNKNOWN
+
+    # ------------------------------------------------------------------
+    def _constant(self, node: ast.Constant) -> Domain:
+        value = node.value
+        if isinstance(value, bool):
+            return Domain.COUNT
+        if isinstance(value, int):
+            return Domain.COUNT
+        if isinstance(value, float):
+            if value != value or value in (
+                float("inf"),
+                float("-inf"),
+            ):
+                return Domain.NEUTRAL
+            if 0.0 <= value <= 1.0:
+                return Domain.LINEAR
+            return Domain.FLOAT
+        return Domain.UNKNOWN
+
+    def _attribute(self, node: ast.Attribute) -> Domain:
+        if node.attr in ("inf", "nan", "e", "pi"):
+            receiver = _receiver_name(node)
+            if receiver in _NUMERIC_RECEIVERS:
+                if node.attr in ("inf", "nan"):
+                    return Domain.NEUTRAL
+                return Domain.FLOAT
+        if node.attr in ("size", "shape", "ndim"):
+            return Domain.COUNT
+        return Domain.UNKNOWN
+
+    # ------------------------------------------------------------------
+    def _call(self, node: ast.Call) -> Domain:
+        name = _call_name(node)
+        receiver = _receiver_name(node.func)
+        if name is None:
+            return Domain.UNKNOWN
+        if _is_inf_literal(node):
+            return Domain.NEUTRAL
+        if name in _LOG_BEARERS:
+            return Domain.LOG
+        if name in _GUARDED_LOG and (
+            receiver in _NUMERIC_RECEIVERS
+            or isinstance(node.func, ast.Name)
+        ):
+            return Domain.LOG
+        if name in _EXP_NAMES:
+            inner = self.domain_of(node.args[0]) if node.args else (
+                Domain.UNKNOWN
+            )
+            if inner in (Domain.LOG, Domain.NEUTRAL):
+                return Domain.LINEAR_RAW
+            return Domain.FLOAT
+        if name == "clip" and len(node.args) >= 3:
+            if _is_zero(node.args[1]) and _is_one(node.args[2]):
+                return Domain.LINEAR
+            return Domain.FLOAT
+        if name == "min" and len(node.args) == 2:
+            for bound, other in (
+                (node.args[0], node.args[1]),
+                (node.args[1], node.args[0]),
+            ):
+                if _is_one(bound):
+                    inner = self.domain_of(other)
+                    if inner.is_linear_prob:
+                        # exp() output is >= 0, so min(1.0, raw) is a
+                        # fully validated probability.
+                        return Domain.LINEAR
+            return Domain.UNKNOWN
+        if name == "max" and len(node.args) == 2:
+            for bound, other in (
+                (node.args[0], node.args[1]),
+                (node.args[1], node.args[0]),
+            ):
+                if _is_zero(bound):
+                    inner = self.domain_of(other)
+                    if inner is Domain.LINEAR:
+                        return Domain.LINEAR
+            return Domain.UNKNOWN
+        if name in _COUNT_CALLS:
+            return Domain.COUNT
+        if name in _PROB_CONSTRUCTORS:
+            return Domain.LINEAR
+        if name in _FLOAT_CONSTRUCTORS:
+            return Domain.FLOAT
+        if name == "full" and len(node.args) >= 2:
+            return self.domain_of(node.args[1])
+        if name == "where" and len(node.args) == 3:
+            return join(
+                self.domain_of(node.args[1]), self.domain_of(node.args[2])
+            )
+        if name in ("sum", "prod", "dot", "cumsum"):
+            target = node.args[0] if node.args else (
+                node.func.value
+                if isinstance(node.func, ast.Attribute)
+                else None
+            )
+            if target is not None:
+                inner = self.domain_of(target)
+                if inner is Domain.LOG:
+                    return Domain.LOG  # a sum of logs is a product's log
+                if inner is Domain.COUNT:
+                    return Domain.COUNT
+            return Domain.FLOAT
+        if name in _TRANSPARENT_CALLS:
+            target: ast.AST | None
+            if node.args:
+                target = node.args[0]
+            elif isinstance(node.func, ast.Attribute):
+                target = node.func.value
+            else:
+                target = None
+            if target is not None:
+                inner = self.domain_of(target)
+                if name in ("float",) and inner is Domain.COUNT:
+                    return Domain.FLOAT
+                return inner
+            return Domain.UNKNOWN
+        # interprocedural: resolved project call -> its return summary
+        site = self._sites.get((node.lineno, node.col_offset))
+        if site is not None and site.targets:
+            return join_all(
+                [self.index.summary_of(t) for t in site.targets]
+            )
+        return Domain.UNKNOWN

@@ -7,6 +7,28 @@ from pathlib import Path
 
 from .runner import LintReport
 
+#: rules with a pass-specific justification marker beyond the generic
+#: ``# reprolint: disable=<ID>`` — the reporters surface the exact
+#: syntax so a finding carries its own escape hatch.
+_EXTRA_SUPPRESSIONS = {
+    "R3": "# exact-sentinel: <reason>",
+    "P6": "# event-loop-safe: <reason>",
+    "P11": "# domain: <log|linear> <reason>",
+    "P12": "# domain: <log|linear> <reason>",
+}
+
+
+def _suppression_help(rule_id: str) -> str:
+    """How to suppress ``rule_id`` at a specific site."""
+    base = f"# reprolint: disable={rule_id}"
+    extra = _EXTRA_SUPPRESSIONS.get(rule_id)
+    if extra is None:
+        return f"Suppress with `{base}` on (or standalone above) the line."
+    return (
+        f"Suppress with `{base}` on (or standalone above) the line, or "
+        f"justify the site with `{extra}`."
+    )
+
 
 def render_text(report: LintReport) -> str:
     """Human-readable report: one ``path:line:col: ID message`` per hit.
@@ -52,6 +74,7 @@ def render_json(report: LintReport) -> str:
                 "name": rule.name,
                 "rationale": rule.rationale,
                 "scope": "file",
+                "suppression": _suppression_help(rule.rule_id),
             }
             for rule in report.rules
         ]
@@ -61,6 +84,7 @@ def render_json(report: LintReport) -> str:
                 "name": rule.name,
                 "rationale": rule.rationale,
                 "scope": "project",
+                "suppression": _suppression_help(rule.rule_id),
             }
             for rule in report.project_rules
         ],
@@ -94,6 +118,7 @@ def render_sarif(report: LintReport, base: Path | None = None) -> str:
             "name": rule.name,
             "shortDescription": {"text": rule.name},
             "fullDescription": {"text": rule.rationale},
+            "help": {"text": _suppression_help(rule.rule_id)},
             "defaultConfiguration": {"level": "error"},
         }
         for rule in (*report.rules, *report.project_rules)

@@ -13,6 +13,7 @@ Two execution scopes share one report shape:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Iterable, Iterator, Sequence
@@ -30,6 +31,9 @@ _SKIP_DIRS = frozenset(
 #: (rule P5); they are never linted themselves.
 _CONSUMER_DIR_NAMES = ("tests", "examples", "benchmarks")
 
+#: passes sharing the numeric dataflow index (see program/numflow.py)
+_NUMERIC_RULE_IDS = frozenset({"P11", "P12", "P13", "P14"})
+
 
 @dataclass
 class LintReport:
@@ -43,6 +47,9 @@ class LintReport:
     baselined: list[Violation] = field(default_factory=list)
     #: baseline entries that no longer fire and must be removed
     stale_baseline: list[dict] = field(default_factory=list)
+    #: wall-clock seconds per stage (``file_rules``, ``program_index``,
+    #: ``numeric_index``, ``pass_<ID>``) — populated in project scope
+    timings: dict[str, float] = field(default_factory=dict)
 
     @property
     def ok(self) -> bool:
@@ -94,15 +101,32 @@ def lint_file(path: Path, rules: Sequence[Rule]) -> list[Violation]:
     return found
 
 
+def _resolve_only(
+    only_files: Iterable[Path | str] | None,
+) -> set[Path] | None:
+    if only_files is None:
+        return None
+    return {Path(p).resolve() for p in only_files}
+
+
 def lint_paths(
     paths: Iterable[Path | str],
     select: Iterable[str] | None = None,
     ignore: Iterable[str] | None = None,
+    only_files: Iterable[Path | str] | None = None,
 ) -> LintReport:
-    """Lint every Python file under ``paths`` with the active rule set."""
+    """Lint every Python file under ``paths`` with the active rule set.
+
+    ``only_files`` restricts the run to the named files (the
+    ``--changed`` incremental mode); files under ``paths`` but outside
+    the set are neither parsed nor counted.
+    """
     rules = resolve_rules(select=select, ignore=ignore)
     report = LintReport(rules=rules)
+    wanted = _resolve_only(only_files)
     for path in iter_python_files(Path(p) for p in paths):
+        if wanted is not None and path.resolve() not in wanted:
+            continue
         report.files_checked += 1
         report.violations.extend(lint_file(path, rules))
     report.violations.sort()
@@ -151,8 +175,18 @@ def lint_project(
     select: Iterable[str] | None = None,
     ignore: Iterable[str] | None = None,
     baseline_path: Path | str | None = None,
+    only_files: Iterable[Path | str] | None = None,
 ) -> LintReport:
-    """File rules plus the P-series whole-program rules over one tree."""
+    """File rules plus the P-series whole-program rules over one tree.
+
+    With ``only_files`` (the ``--changed`` incremental mode) the file
+    rules run over just those files and project-rule violations outside
+    them are dropped, but the *index* still covers the whole tree —
+    whole-program facts (layering, call graphs, numeric domains) are
+    only correct when built from everything.  Stale-baseline entries
+    are not reported in that mode: a violation outside the changed set
+    is filtered away, not fixed.
+    """
     from .program import compare, load_baseline
     from .program.context import ProgramContext
 
@@ -161,9 +195,14 @@ def lint_project(
         select=select, ignore=ignore
     )
     report = LintReport(rules=file_rules, project_rules=project_rules)
+    wanted = _resolve_only(only_files)
+    started = time.perf_counter()
     for path in iter_python_files(path_list):
+        if wanted is not None and path.resolve() not in wanted:
+            continue
         report.files_checked += 1
         report.violations.extend(lint_file(path, file_rules))
+    report.timings["file_rules"] = time.perf_counter() - started
 
     package_root = find_package_root(path_list)
     if package_root is None:
@@ -180,12 +219,27 @@ def lint_project(
         report.violations.sort()
         return report
 
+    started = time.perf_counter()
     program = ProgramContext.build(
         package_root,
         consumer_roots=default_consumer_roots(package_root),
     )
+    report.timings["program_index"] = time.perf_counter() - started
+
+    if any(r.rule_id in _NUMERIC_RULE_IDS for r in project_rules):
+        # Pre-warm the shared numeric dataflow index so each numeric
+        # pass's timing measures the pass itself, not the build.
+        from .program.numflow import get_numeric_index
+
+        started = time.perf_counter()
+        get_numeric_index(program)
+        report.timings["numeric_index"] = time.perf_counter() - started
+
     for rule_obj in project_rules:
+        started = time.perf_counter()
         for v_path, line, col, message in rule_obj.run(program):
+            if wanted is not None and Path(v_path).resolve() not in wanted:
+                continue
             info = program.module_at(Path(v_path))
             if info is not None and info.ctx.suppressions.is_suppressed(
                 rule_obj.rule_id, line
@@ -194,12 +248,17 @@ def lint_project(
             report.violations.append(
                 Violation.at(rule_obj.rule_id, v_path, line, col, message)
             )
+        report.timings[f"pass_{rule_obj.rule_id}"] = (
+            time.perf_counter() - started
+        )
 
     if baseline_path is not None:
         baseline = load_baseline(baseline_path)
         comparison = compare(baseline, report.violations)
         report.violations = comparison.new
         report.baselined = comparison.baselined
-        report.stale_baseline = comparison.stale
+        # A violation outside the changed set was filtered, not fixed —
+        # staleness is only meaningful over a full-tree run.
+        report.stale_baseline = [] if wanted is not None else comparison.stale
     report.violations.sort()
     return report

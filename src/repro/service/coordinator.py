@@ -73,7 +73,7 @@ def theorem1_fallback(n_replicas: int) -> int:
     if n_replicas < 2:
         return 1
     return math.ceil(
-        math.log(1.0 / n_replicas) / math.log(1.0 - 1.0 / n_replicas)
+        math.log(1.0 / n_replicas) / math.log1p(-1.0 / n_replicas)
     )
 
 

@@ -51,10 +51,27 @@ def test_src_repro_is_reprolint_clean():
 
 
 def test_src_repro_is_project_clean():
-    """The whole-program passes (P1-P10) must also hold on the tree."""
-    report = lint_project([SRC])
+    """The whole-program passes (P1-P14) must hold on the tree.
+
+    P14 is a ratchet, not a clean gate — its scalar-loop inventory
+    lives in the committed ``.reprolint-p14-baseline.json`` — so the
+    clean assertion runs with P14 excused by that baseline while the
+    other thirteen passes get no baseline at all.
+    """
+    report = lint_project(
+        [SRC], baseline_path=REPO_ROOT / ".reprolint-p14-baseline.json"
+    )
     assert report.files_checked > 50
-    assert len(report.project_rules) == 10
+    assert len(report.project_rules) == 14
+    assert report.ok, "\n" + render_text(report)
+    assert all(v.rule_id == "P14" for v in report.baselined)
+
+
+def test_numeric_passes_clean_without_baseline():
+    """P11-P13 hold over the whole tree with *no* baseline: every real
+    numeric-domain finding was fixed or carries a reasoned
+    ``# domain:``/``disable=`` annotation at the site."""
+    report = lint_project([SRC], select=["P11", "P12", "P13"])
     assert report.ok, "\n" + render_text(report)
 
 
@@ -65,6 +82,21 @@ def test_committed_baseline_holds_no_debt():
     payload = json.loads(baseline.read_text(encoding="utf-8"))
     assert payload["version"] == 1
     assert payload["entries"] == []
+
+
+def test_p14_baseline_is_exactly_the_current_inventory():
+    """The committed P14 ratchet matches the tree: every entry still
+    fires (no stale debt records) and every firing loop is recorded
+    (the inventory may only shrink via --write-baseline)."""
+    baseline = REPO_ROOT / ".reprolint-p14-baseline.json"
+    payload = json.loads(baseline.read_text(encoding="utf-8"))
+    assert payload["version"] == 1
+    assert all(e["rule"] == "P14" for e in payload["entries"])
+    report = lint_project(
+        [SRC], select=["P14"], baseline_path=baseline
+    )
+    assert not report.violations, "\n" + render_text(report)
+    assert not report.stale_baseline, "\n" + render_text(report)
 
 
 @pytest.mark.parametrize("rule_id", sorted(CANARIES))

@@ -1,4 +1,4 @@
-"""Unit tests for the whole-program passes (P1-P10).
+"""Unit tests for the whole-program passes (P1-P14).
 
 Each test materialises a minimal ``repro``-shaped package under
 ``tmp_path`` and runs :func:`repro.devtools.lint_project` with
@@ -1055,3 +1055,577 @@ class TestGraphExports:
         assert set(payload["contract"]) >= {"core", "sim", "cloudsim"}
         names = {m["name"] for m in payload["modules"]}
         assert "repro.sim.model" in names
+
+
+class TestP11LogDomainConfusion:
+    def _tree(self, tmp_path, body: str, layer: str = "core"):
+        return build_tree(
+            tmp_path, PKG | {f"repro/{layer}/alg.py": body}
+        )
+
+    def test_log_plus_linear_addition_fires(self, tmp_path):
+        tree = self._tree(
+            tmp_path,
+            """\
+            import math
+
+            def f(n: int) -> float:
+                lp = math.lgamma(n + 1)
+                return lp + 0.5
+            """,
+        )
+        assert hits(tree, ["P11"]) == ["P11 alg.py:5"]
+
+    def test_linear_minus_log_subtraction_fires(self, tmp_path):
+        tree = self._tree(
+            tmp_path,
+            """\
+            import math
+
+            def f(n: int) -> float:
+                lp = math.lgamma(n + 1)
+                return 0.5 - lp
+            """,
+        )
+        assert hits(tree, ["P11"]) == ["P11 alg.py:5"]
+
+    def test_log_times_linear_product_fires(self, tmp_path):
+        tree = self._tree(
+            tmp_path,
+            """\
+            import math
+
+            def f(n: int) -> float:
+                lp = math.log(n)
+                return lp * 0.25
+            """,
+        )
+        assert hits(tree, ["P11"]) == ["P11 alg.py:5"]
+
+    def test_log_vs_linear_comparison_fires(self, tmp_path):
+        tree = self._tree(
+            tmp_path,
+            """\
+            import math
+
+            def f(n: int) -> bool:
+                lp = math.lgamma(n + 1)
+                return lp > 0.5
+            """,
+        )
+        assert hits(tree, ["P11"]) == ["P11 alg.py:5"]
+
+    def test_sum_over_log_probabilities_fires(self, tmp_path):
+        tree = self._tree(
+            tmp_path,
+            """\
+            import numpy as np
+
+            def f(xs) -> float:
+                logs = np.log(xs)
+                return sum(logs)
+            """,
+        )
+        assert hits(tree, ["P11"]) == ["P11 alg.py:5"]
+
+    def test_method_sum_over_log_array_fires(self, tmp_path):
+        tree = self._tree(
+            tmp_path,
+            """\
+            import numpy as np
+
+            def f(xs) -> float:
+                logs = np.log(xs)
+                return logs.sum()
+            """,
+        )
+        assert hits(tree, ["P11"]) == ["P11 alg.py:5"]
+
+    def test_unclamped_exp_of_log_fires(self, tmp_path):
+        tree = self._tree(
+            tmp_path,
+            """\
+            import math
+
+            def f(n: int) -> float:
+                lp = math.lgamma(n + 1)
+                p = math.exp(lp)
+                return min(1.0, p)
+            """,
+        )
+        assert hits(tree, ["P11"]) == ["P11 alg.py:5"]
+
+    def test_exp_of_log_ratio_is_clean(self, tmp_path):
+        tree = self._tree(
+            tmp_path,
+            """\
+            import math
+
+            def f(n: int, k: int) -> float:
+                la = math.lgamma(n + 1)
+                lb = math.lgamma(k + 1)
+                return min(1.0, math.exp(la - lb))
+            """,
+        )
+        assert hits(tree, ["P11"]) == []
+
+    def test_exp_clamped_by_min_is_clean(self, tmp_path):
+        tree = self._tree(
+            tmp_path,
+            """\
+            import math
+
+            def f(n: int) -> float:
+                lp = math.lgamma(n + 1)
+                return min(1.0, math.exp(lp))
+            """,
+        )
+        assert hits(tree, ["P11"]) == []
+
+    def test_exp_clamped_by_clip_is_clean(self, tmp_path):
+        tree = self._tree(
+            tmp_path,
+            """\
+            import numpy as np
+
+            def f(xs) -> float:
+                logs = np.log(xs)
+                return np.clip(np.exp(logs), 0.0, 1.0)
+            """,
+        )
+        assert hits(tree, ["P11"]) == []
+
+    def test_log_plus_log_is_clean(self, tmp_path):
+        tree = self._tree(
+            tmp_path,
+            """\
+            import math
+
+            def f(n: int, k: int) -> float:
+                la = math.lgamma(n + 1)
+                lb = math.lgamma(k + 1)
+                return la + lb
+            """,
+        )
+        assert hits(tree, ["P11"]) == []
+
+    def test_disable_comment_suppresses(self, tmp_path):
+        tree = self._tree(
+            tmp_path,
+            """\
+            import math
+
+            def f(n: int) -> float:
+                lp = math.lgamma(n + 1)
+                return lp + 0.5  # reprolint: disable=P11
+            """,
+        )
+        assert hits(tree, ["P11"]) == []
+
+    def test_domain_linear_annotation_corrects_inference(self, tmp_path):
+        tree = self._tree(
+            tmp_path,
+            """\
+            import math
+
+            def f(n: int) -> float:
+                # domain: linear calibrated weight, not a log-probability
+                w = math.lgamma(n + 1)
+                return w + 0.5
+            """,
+        )
+        assert hits(tree, ["P11"]) == []
+
+
+class TestP12ProbabilityRangeEscape:
+    def _tree(self, tmp_path, body: str, layer: str = "core"):
+        files = PKG | {f"repro/{layer}/alg.py": body}
+        if layer not in ("core", "sim", "cloudsim", "experiments"):
+            files = files | {f"repro/{layer}/__init__.py": ""}
+        return build_tree(tmp_path, files)
+
+    RAW_RETURN = """\
+    import math
+
+    def f(n: int) -> float:
+        lp = math.lgamma(n + 1)
+        return math.exp(lp)  # reprolint: disable=P11
+    """
+
+    def test_unclamped_exp_return_in_core_fires(self, tmp_path):
+        tree = self._tree(tmp_path, self.RAW_RETURN)
+        assert hits(tree, ["P12"]) == ["P12 alg.py:5"]
+
+    def test_unclamped_exp_return_in_sim_fires(self, tmp_path):
+        tree = self._tree(tmp_path, self.RAW_RETURN, layer="sim")
+        assert hits(tree, ["P12"]) == ["P12 alg.py:5"]
+
+    def test_experiments_layer_is_exempt(self, tmp_path):
+        tree = self._tree(tmp_path, self.RAW_RETURN, layer="experiments")
+        assert hits(tree, ["P12"]) == []
+
+    def test_min_clamp_is_clean(self, tmp_path):
+        tree = self._tree(
+            tmp_path,
+            """\
+            import math
+
+            def f(n: int) -> float:
+                lp = math.lgamma(n + 1)
+                return min(1.0, math.exp(lp))
+            """,
+        )
+        assert hits(tree, ["P12"]) == []
+
+    def test_np_clip_is_clean(self, tmp_path):
+        tree = self._tree(
+            tmp_path,
+            """\
+            import numpy as np
+
+            def f(xs) -> float:
+                logs = np.log(xs)
+                return np.clip(np.exp(logs), 0.0, 1.0)
+            """,
+        )
+        assert hits(tree, ["P12"]) == []
+
+    def test_domain_linear_annotation_excuses_return(self, tmp_path):
+        tree = self._tree(
+            tmp_path,
+            """\
+            import math
+
+            def f(n: int) -> float:
+                lp = math.lgamma(n + 1)
+                # domain: linear validated upstream by construction
+                return math.exp(lp)  # reprolint: disable=P11
+            """,
+        )
+        assert hits(tree, ["P12"]) == []
+
+    def test_bare_domain_marker_without_reason_still_fires(self, tmp_path):
+        tree = self._tree(
+            tmp_path,
+            """\
+            import math
+
+            def f(n: int) -> float:
+                lp = math.lgamma(n + 1)
+                # domain: linear
+                return math.exp(lp)  # reprolint: disable=P11
+            """,
+        )
+        assert hits(tree, ["P12"]) == ["P12 alg.py:6"]
+
+    def test_interprocedural_raw_summary_fires_at_caller(self, tmp_path):
+        tree = self._tree(
+            tmp_path,
+            """\
+            import math
+
+            def _helper(n: int) -> float:
+                lp = math.lgamma(n + 1)
+                # reprolint: disable=P11, P12
+                return math.exp(lp)
+
+            def f(n: int) -> float:
+                return _helper(n)
+            """,
+        )
+        assert hits(tree, ["P12"]) == ["P12 alg.py:9"]
+
+    def test_disable_comment_suppresses(self, tmp_path):
+        tree = self._tree(
+            tmp_path,
+            """\
+            import math
+
+            def f(n: int) -> float:
+                lp = math.lgamma(n + 1)
+                # reprolint: disable=P11, P12
+                return math.exp(lp)
+            """,
+        )
+        assert hits(tree, ["P12"]) == []
+
+    def test_plain_probability_constant_is_clean(self, tmp_path):
+        tree = self._tree(
+            tmp_path,
+            """\
+            def f() -> float:
+                return 0.5
+            """,
+        )
+        assert hits(tree, ["P12"]) == []
+
+
+class TestP13NumericStability:
+    def _tree(self, tmp_path, body: str, module: str = "core/alg.py"):
+        return build_tree(tmp_path, PKG | {f"repro/{module}": body})
+
+    def test_log_of_one_minus_x_fires(self, tmp_path):
+        tree = self._tree(
+            tmp_path,
+            """\
+            import math
+
+            def f(x: float) -> float:
+                return math.log(1.0 - x)
+            """,
+        )
+        assert hits(tree, ["P13"]) == ["P13 alg.py:4"]
+
+    def test_np_log_variant_fires(self, tmp_path):
+        tree = self._tree(
+            tmp_path,
+            """\
+            import numpy as np
+
+            def f(x) -> float:
+                return np.log(1 - x)
+            """,
+        )
+        assert hits(tree, ["P13"]) == ["P13 alg.py:4"]
+
+    def test_log_of_one_minus_exp_suggests_log1mexp(self, tmp_path):
+        tree = self._tree(
+            tmp_path,
+            """\
+            import math
+
+            def f(t: float) -> float:
+                return math.log(1.0 - math.exp(t))
+            """,
+        )
+        report_hits = hits(tree, ["P13"])
+        assert report_hits == ["P13 alg.py:4"]
+
+    def test_log1p_of_negated_exp_fires(self, tmp_path):
+        tree = self._tree(
+            tmp_path,
+            """\
+            import math
+
+            def f(t: float) -> float:
+                return math.log1p(-math.exp(t))
+            """,
+        )
+        assert hits(tree, ["P13"]) == ["P13 alg.py:4"]
+
+    def test_log_sum_exp_shape_fires(self, tmp_path):
+        tree = self._tree(
+            tmp_path,
+            """\
+            import numpy as np
+
+            def f(logs) -> float:
+                return np.log(np.sum(np.exp(logs)))
+            """,
+        )
+        assert hits(tree, ["P13"]) == ["P13 alg.py:4"]
+
+    def test_log1p_of_plain_negation_is_clean(self, tmp_path):
+        tree = self._tree(
+            tmp_path,
+            """\
+            import math
+
+            def f(x: float) -> float:
+                return math.log1p(-x)
+            """,
+        )
+        assert hits(tree, ["P13"]) == []
+
+    def test_lgamma_difference_outside_combinatorics_fires(self, tmp_path):
+        tree = self._tree(
+            tmp_path,
+            """\
+            import math
+
+            def f(a: int, b: int) -> float:
+                return math.lgamma(a + 1) - math.lgamma(b + 1)
+            """,
+        )
+        assert hits(tree, ["P13"]) == ["P13 alg.py:4"]
+
+    def test_lgamma_difference_inside_combinatorics_is_exempt(
+        self, tmp_path
+    ):
+        tree = self._tree(
+            tmp_path,
+            """\
+            import math
+
+            def f(a: int, b: int) -> float:
+                return math.lgamma(a + 1) - math.lgamma(b + 1)
+            """,
+            module="core/combinatorics.py",
+        )
+        assert hits(tree, ["P13"]) == []
+
+    def test_division_by_unguarded_len_fires(self, tmp_path):
+        tree = self._tree(
+            tmp_path,
+            """\
+            def f(xs) -> float:
+                return sum(xs) / len(xs)
+            """,
+        )
+        assert hits(tree, ["P13"]) == ["P13 alg.py:2"]
+
+    def test_division_guarded_by_emptiness_check_is_clean(self, tmp_path):
+        tree = self._tree(
+            tmp_path,
+            """\
+            def f(xs) -> float:
+                if not xs:
+                    return 0.0
+                return sum(xs) / len(xs)
+            """,
+        )
+        assert hits(tree, ["P13"]) == []
+
+    def test_division_by_unguarded_size_fires(self, tmp_path):
+        tree = self._tree(
+            tmp_path,
+            """\
+            def f(xs) -> float:
+                return float(xs.sum()) / xs.size
+            """,
+        )
+        assert hits(tree, ["P13"]) == ["P13 alg.py:2"]
+
+    def test_max_floored_denominator_is_clean(self, tmp_path):
+        tree = self._tree(
+            tmp_path,
+            """\
+            def f(xs) -> float:
+                return sum(xs) / max(1, len(xs))
+            """,
+        )
+        assert hits(tree, ["P13"]) == []
+
+
+class TestP14VectorizationReadiness:
+    SCALAR_LOOP = """\
+    import numpy as np
+
+    def f(n: int) -> np.ndarray:
+        out = np.zeros(n + 1)
+        for i in range(n):
+            out[i] = i / 2.0
+        return out
+    """
+
+    def _tree(self, tmp_path, body: str, layer: str = "core"):
+        return build_tree(
+            tmp_path, PKG | {f"repro/{layer}/alg.py": body}
+        )
+
+    def test_scalar_loop_over_float_array_fires(self, tmp_path):
+        tree = self._tree(tmp_path, self.SCALAR_LOOP)
+        assert hits(tree, ["P14"]) == ["P14 alg.py:5"]
+
+    def test_only_outermost_loop_of_a_nest_is_reported(self, tmp_path):
+        tree = self._tree(
+            tmp_path,
+            """\
+            import numpy as np
+
+            def f(n: int) -> np.ndarray:
+                out = np.zeros((n, n))
+                for i in range(n):
+                    for j in range(n):
+                        out[i, j] = i / (j + 1.0)
+                return out
+            """,
+        )
+        assert hits(tree, ["P14"]) == ["P14 alg.py:5"]
+
+    def test_message_carries_iter_text_and_nest_depth(self, tmp_path):
+        tree = self._tree(tmp_path, self.SCALAR_LOOP)
+        report = lint_project([tree], select=["P14"])
+        assert len(report.violations) == 1
+        message = report.violations[0].message
+        assert "`range(n)`" in message
+        assert "nest depth 1" in message
+        assert "alg.f" in message
+
+    def test_while_loop_is_not_inventoried(self, tmp_path):
+        tree = self._tree(
+            tmp_path,
+            """\
+            import numpy as np
+
+            def f(n: int) -> np.ndarray:
+                out = np.zeros(n)
+                i = 0
+                while i < n:
+                    out[i] = i / 2.0
+                    i += 1
+                return out
+            """,
+        )
+        assert hits(tree, ["P14"]) == []
+
+    def test_attribute_subscript_store_is_not_inventoried(self, tmp_path):
+        tree = self._tree(
+            tmp_path,
+            """\
+            class Cache:
+                def fill(self, n: int) -> None:
+                    for i in range(n):
+                        self.buf[i] = i / 2.0
+            """,
+        )
+        assert hits(tree, ["P14"]) == []
+
+    def test_sim_layer_loop_is_not_inventoried(self, tmp_path):
+        tree = self._tree(tmp_path, self.SCALAR_LOOP, layer="sim")
+        assert hits(tree, ["P14"]) == []
+
+    def test_array_without_numeric_evidence_is_not_inventoried(
+        self, tmp_path
+    ):
+        tree = self._tree(
+            tmp_path,
+            """\
+            def f(xs, n: int) -> None:
+                for i in range(n):
+                    xs[i] = helper(i)
+
+            def helper(i: int):
+                return object()
+            """,
+        )
+        assert hits(tree, ["P14"]) == []
+
+    def test_append_only_loop_is_clean(self, tmp_path):
+        tree = self._tree(
+            tmp_path,
+            """\
+            def f(n: int) -> list:
+                out = []
+                for i in range(n):
+                    out.append(i / 2.0)
+                return out
+            """,
+        )
+        assert hits(tree, ["P14"]) == []
+
+    def test_disable_comment_suppresses(self, tmp_path):
+        tree = self._tree(
+            tmp_path,
+            """\
+            import numpy as np
+
+            def f(n: int) -> np.ndarray:
+                out = np.zeros(n + 1)
+                # reprolint: disable=P14
+                for i in range(n):
+                    out[i] = i / 2.0
+                return out
+            """,
+        )
+        assert hits(tree, ["P14"]) == []
