@@ -23,6 +23,9 @@ defense end to end:
 - ``repro.obs`` — the unified observability layer: metrics, spans, and
   one event schema shared by every layer above (``repro-obs`` inspects
   the traces; see ``docs/observability.md``).
+- ``repro.detect`` — sketch-based streaming detection: count-min and
+  space-saving summaries behind fixed-memory saturation monitoring and
+  per-replica heavy-hitter reports (see ``docs/detection.md``).
 - ``repro.experiments`` — one driver per paper table/figure
   (``python -m repro.experiments <fig3|fig4|...|fig12|headline>``).
 
@@ -44,7 +47,7 @@ from __future__ import annotations
 # (repro.sim.backend), giving sweep()/run_campaign_batch() their
 # workers=/cache_dir= paths.  This is the one place the package wires
 # the runtime layer onto sim — sim itself never imports runtime.
-from . import obs, runtime
+from . import detect, obs, runtime
 from .core import (
     BotEstimate,
     PLANNERS,
@@ -78,6 +81,7 @@ __all__ = [
     "ShufflePlan",
     "ShuffleState",
     "__version__",
+    "detect",
     "dp_fast_plan",
     "dp_fast_value",
     "dp_plan",

@@ -119,7 +119,10 @@ class Botnet:
             for address in targets:
                 replica = self.ctx.replica_by_address(address)
                 if replica is not None and replica.is_active:
-                    replica.receive_flood(per_target)
+                    # The naive fleet is modelled in aggregate; its
+                    # collective label is what the replica's sketch
+                    # attributes the flood mass to.
+                    replica.receive_flood(per_target, source="naive-fleet")
                     self.packets_effective += per_target
                     self._dead_since.pop(address, None)
                 else:

@@ -221,6 +221,12 @@ class Coordinator:
             "attack_detected",
             replicas=[r.endpoint.address for r in attacked],
         )
+        # Put names next to the signal: each attacked replica reports
+        # who filled its window (fixed-memory sketch attribution).
+        for replica in attacked:
+            self.ctx.trace(
+                "heavy_hitters", **replica.heavy_hitter_report().to_dict()
+            )
 
         clients: list[tuple[str, object, ReplicaServer]] = []
         for replica in attacked:

@@ -17,6 +17,14 @@ are dropped with probability growing in the overload factor, and response
 processing slows down.  Client redirection is prioritized over application
 logic (Section III-C), so shuffle notifications still go out from an
 overwhelmed replica, only slower.
+
+Traffic accounting on the heavy path is sketched, not enumerated: each
+replica folds every request (and attributed flood mass) into a
+fixed-memory :class:`repro.detect.SketchWindow`, so it can report *who*
+is filling its window — :meth:`ReplicaServer.heavy_hitter_report` — at
+a memory cost independent of population size.  Per-client dicts on this
+path would grow with the client count, exactly what million-client runs
+cannot afford.
 """
 
 from __future__ import annotations
@@ -25,6 +33,7 @@ import enum
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable
 
+from ..detect import HeavyHitterReport, SketchParams, SketchWindow
 from .network import Endpoint, LoadMeter
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -80,6 +89,16 @@ class ReplicaServer:
         self.assigned_clients: dict[str, object] = {}
         self.net_meter = LoadMeter(half_life=ctx.config.load_half_life)
         self.cpu_meter = LoadMeter(half_life=ctx.config.load_half_life)
+        cfg = ctx.config
+        self.traffic = SketchWindow(
+            cfg.detect_window,
+            params=SketchParams(
+                epsilon=cfg.detect_epsilon,
+                delta=cfg.detect_delta,
+                top_k=cfg.detect_top_k,
+            ),
+            epochs=cfg.detect_epochs,
+        )
         self.stats = ReplicaStats()
         self.shuffling = False  # currently part of a shuffle operation
 
@@ -102,6 +121,7 @@ class ReplicaServer:
         self.assigned_clients.clear()
         self.net_meter.reset()
         self.cpu_meter.reset()
+        self.traffic.reset()
 
     def fail(self) -> None:
         """Unplanned crash: the instance vanishes with its state.
@@ -116,6 +136,7 @@ class ReplicaServer:
         self.assigned_clients.clear()
         self.net_meter.reset()
         self.cpu_meter.reset()
+        self.traffic.reset()
 
     @property
     def is_active(self) -> bool:
@@ -174,12 +195,24 @@ class ReplicaServer:
     # ------------------------------------------------------------------
     # traffic
     # ------------------------------------------------------------------
-    def receive_flood(self, packets: float) -> None:
-        """Absorb flood packets (spent bandwidth, filtered before app)."""
+    def receive_flood(self, packets: float, source: str | None = None) -> None:
+        """Absorb flood packets (spent bandwidth, filtered before app).
+
+        Args:
+            packets: flood mass landing now.
+            source: optional attributed sender (the aggregate naive
+                fleet passes its collective label); attributed mass
+                shows up in :meth:`heavy_hitter_report`.
+        """
         if self.state is ReplicaState.RETIRED:
             return  # null-routed: the attacker wasted these packets
         self.net_meter.add(self.ctx.now, packets)
         self.stats.flood_packets += packets
+        whole = int(packets)
+        if whole > 0:
+            self.traffic.record(
+                self.ctx.now, admitted=False, key=source, count=whole
+            )
 
     def handle_request(
         self,
@@ -202,12 +235,15 @@ class ReplicaServer:
         self.net_meter.add(self.ctx.now, 1.0)
         if client_id not in self.whitelist:
             self.stats.requests_rejected += 1
+            self.traffic.record(self.ctx.now, admitted=False, key=client_id)
             on_done(False, 0.0)
             return
         if self.ctx.rng.random() < self.drop_probability():
             self.stats.requests_dropped += 1
+            self.traffic.record(self.ctx.now, admitted=False, key=client_id)
             on_done(False, 0.0)
             return
+        self.traffic.record(self.ctx.now, admitted=True, key=client_id)
         self.cpu_meter.add(self.ctx.now, work)
         base = work / self.cpu_capacity
         # Service slows as the CPU saturates (simple M/M/1-flavoured
@@ -216,6 +252,25 @@ class ReplicaServer:
         service_time = base / max(1e-6, (1.0 - utilization))
         self.stats.requests_served += 1
         on_done(True, service_time)
+
+    def heavy_hitter_report(self) -> HeavyHitterReport:
+        """Who filled this replica's window (fixed-memory attribution).
+
+        The coordinator traces these for attacked replicas (event kind
+        ``heavy_hitters``), putting names next to the saturation signal
+        in the audit trail.
+        """
+        now = self.ctx.now
+        total, throttled = self.traffic.counts(now)
+        return HeavyHitterReport(
+            replica_id=self.endpoint.address,
+            time=now,
+            window=self.traffic.window,
+            total=total,
+            throttled=throttled,
+            top=tuple(self.traffic.heavy_hitters(now)),
+            state_bytes=self.traffic.state_bytes(),
+        )
 
     # ------------------------------------------------------------------
     # shuffling support

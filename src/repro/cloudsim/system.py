@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..detect import SpaceSaving
 from ..obs.events import EventLog
 from ..obs.instruments import Instruments
 from ..obs.metrics import MetricsRegistry
@@ -58,6 +59,14 @@ class CloudConfig:
     redirect_service_max: float = 0.06
     assignment_memory: float = 300.0  # sticky re-entry window (Sec. VII)
     join_retry_delay: float = 1.0
+    # sketch-based traffic accounting (repro.detect): every replica
+    # tracks who is filling its window in fixed memory, independent of
+    # population size — the piece that keeps million-client runs flat.
+    detect_window: float = 4.0  # sliding window (sim-seconds)
+    detect_epsilon: float = 0.02  # count-min additive error budget
+    detect_delta: float = 0.01  # count-min failure probability
+    detect_top_k: int = 8  # heavy-hitter summary capacity
+    detect_epochs: int = 4  # window ring cells
     # workload
     think_time: float = 2.0  # mean seconds between benign requests
     request_work: float = 1.0
@@ -75,6 +84,10 @@ class CloudConfig:
             raise ValueError("need at least one balancer per domain")
         if self.shuffle_replicas < 1:
             raise ValueError("need at least one shuffle replica")
+        if self.detect_window <= 0:
+            raise ValueError("detect_window must be > 0")
+        if self.detect_top_k < 1 or self.detect_epochs < 1:
+            raise ValueError("detect_top_k and detect_epochs must be >= 1")
 
 
 class CloudContext:
@@ -211,6 +224,10 @@ class RunReport:
     quarantined_bots: int
     bots_colocated_benign: int
     samples: list = field(default_factory=list)
+    #: merged top talkers across active replicas at run end, as
+    #: ``[key, count, error]`` rows (sketch-windowed, so only traffic
+    #: still inside the detection window shows up).
+    heavy_hitters: list = field(default_factory=list)
 
     def describe(self) -> str:
         return (
@@ -384,6 +401,16 @@ class CloudDefenseSystem:
             if c.replica_endpoint is not None
             and c.replica_endpoint.address in bot_replicas
         )
+        # System-wide top talkers: the per-replica space-saving
+        # summaries merge shard-order-independently.
+        active = ctx.active_replicas()
+        if active:
+            merged = SpaceSaving.merge_all(
+                [r.traffic.hitter_summary(ctx.now) for r in active]
+            )
+            hitters = [h.to_list() for h in merged.top()]
+        else:
+            hitters = []
         return RunReport(
             duration=duration,
             shuffles=ctx.coordinator.shuffle_count,
@@ -400,4 +427,5 @@ class CloudDefenseSystem:
             quarantined_bots=len(self.bots),
             bots_colocated_benign=colocated,
             samples=list(metrics.samples),
+            heavy_hitters=hitters,
         )

@@ -1,0 +1,70 @@
+"""Sketch sizing: the (ε, δ) accuracy contract in one place.
+
+Every sketch in :mod:`repro.detect` is sized from two numbers with
+textbook meanings (Cormode & Muthukrishnan, the count-min paper):
+
+- **ε** (``epsilon``) — the additive error budget as a fraction of the
+  stream mass ``N``: a point query overestimates by at most ``ε·N`` …
+- **δ** (``delta``) — … except with probability at most ``δ`` (per
+  query, over the random choice of row hashes).
+
+Those translate into a counter matrix of ``depth = ceil(ln 1/δ)`` rows
+by ``width = ceil(e/ε)`` columns, so memory is ``O((1/ε)·ln(1/δ))`` —
+*independent of the number of distinct clients*, which is the whole
+point: a detector sized for 10³ clients is byte-for-byte the detector
+for 10⁶.
+
+:class:`SketchParams` is shared by the service's sketch-backed
+saturation monitor, the cloudsim replicas' traffic accounting, and the
+benchmark, so one tuple of tunables describes every deployment.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["SketchParams"]
+
+
+@dataclass(frozen=True)
+class SketchParams:
+    """Accuracy/memory contract for one sketch deployment.
+
+    Attributes:
+        epsilon: additive-error budget as a fraction of stream mass
+            (``estimate - true <= epsilon * N`` with prob. ``1 - delta``).
+        delta: per-query failure probability of the ε bound.
+        top_k: heavy-hitter summary capacity — every key whose true
+            count exceeds ``N / top_k`` is guaranteed tracked.
+        seed: deterministic row-hash seed (see
+            :meth:`repro.detect.sketch.CountMinSketch` — results are
+            identical across processes and ``PYTHONHASHSEED`` values).
+    """
+
+    epsilon: float = 0.02
+    delta: float = 0.01
+    top_k: int = 8
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.epsilon < 1.0:
+            raise ValueError("epsilon must be within (0, 1)")
+        if not 0.0 < self.delta < 1.0:
+            raise ValueError("delta must be within (0, 1)")
+        if self.top_k < 1:
+            raise ValueError("top_k must be >= 1")
+
+    @property
+    def width(self) -> int:
+        """Counter columns: ``ceil(e / epsilon)``."""
+        return math.ceil(math.e / self.epsilon)
+
+    @property
+    def depth(self) -> int:
+        """Hash rows: ``ceil(ln(1 / delta))``."""
+        return max(1, math.ceil(math.log(1.0 / self.delta)))
+
+    def state_bytes(self) -> int:
+        """Fixed sketch memory (8-byte counters), for capacity planning."""
+        return self.width * self.depth * 8

@@ -1,0 +1,110 @@
+"""Heavy-hitter reports: detection state as observable evidence.
+
+The coordinator's confirmation sweep (and a human at `repro-obs
+summarize`) needs a compact, serializable answer to "who is hammering
+replica r right now?".  :class:`HeavyHitterReport` is that answer: one
+replica's windowed saturation tallies plus its top talkers, convertible
+to and from the shared :class:`repro.obs.Event` schema (kind
+``heavy_hitters``) so reports travel the same audit trail as shuffles
+and faults, and render in the existing tooling without :mod:`repro.obs`
+ever importing this layer — the event payload is plain JSON-ready data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..obs import Event
+from .heavyhitters import HeavyHitter
+
+__all__ = ["HeavyHitterReport"]
+
+#: Event kind under which reports travel the obs audit trail.
+EVENT_KIND = "heavy_hitters"
+
+
+@dataclass(frozen=True)
+class HeavyHitterReport:
+    """One replica's windowed detection summary.
+
+    Attributes:
+        replica_id: reporting replica (int in the simulators, the
+            ``r-<n>`` string in the live service).
+        time: report timestamp on the emitting layer's clock.
+        window: window length (seconds) the tallies cover.
+        total: requests observed in the window.
+        throttled: requests throttled in the window.
+        top: heaviest talkers, largest first.
+        state_bytes: detector memory footprint when the report was cut.
+    """
+
+    replica_id: int | str
+    time: float
+    window: float
+    total: int
+    throttled: int
+    top: tuple[HeavyHitter, ...] = field(default_factory=tuple)
+    state_bytes: int = 0
+
+    @property
+    def throttle_ratio(self) -> float:
+        return self.throttled / self.total if self.total else 0.0
+
+    def suspects(self, min_share: float = 0.0) -> list[str]:
+        """Keys of reported hitters holding at least ``min_share`` of
+        the window's mass (guaranteed-count part only, so a suspect
+        really did send that much)."""
+        if not self.total:
+            return []
+        return [
+            hitter.key
+            for hitter in self.top
+            if (hitter.count - hitter.error) / self.total >= min_share
+        ]
+
+    # ------------------------------------------------------------------
+    # obs interchange
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-ready payload (the obs event ``data``)."""
+        return {
+            "replica": self.replica_id,
+            "window": self.window,
+            "total": self.total,
+            "throttled": self.throttled,
+            "top": [hitter.to_list() for hitter in self.top],
+            "state_bytes": self.state_bytes,
+        }
+
+    def to_event(self, source: str | None = None) -> Event:
+        """As a shared-schema obs event (kind ``heavy_hitters``)."""
+        return Event(
+            time=self.time,
+            kind=EVENT_KIND,
+            data=self.to_dict(),
+            source=source,
+        )
+
+    @classmethod
+    def from_event(cls, event: Event) -> "HeavyHitterReport":
+        """Inverse of :meth:`to_event` (raises on other kinds)."""
+        if event.kind != EVENT_KIND:
+            raise ValueError(
+                f"expected a {EVENT_KIND!r} event, got {event.kind!r}"
+            )
+        data = event.data
+        return cls(
+            replica_id=data["replica"],
+            time=event.time,
+            window=float(data["window"]),
+            total=int(data["total"]),
+            throttled=int(data["throttled"]),
+            top=tuple(
+                HeavyHitter(
+                    key=str(key), count=int(count), error=int(error)
+                )
+                for key, count, error in data.get("top", [])
+            ),
+            state_bytes=int(data.get("state_bytes", 0)),
+        )

@@ -29,6 +29,7 @@ from .context import ProgramContext
 __all__ = [
     "LAYER_CONTRACT",
     "CORE_EXTERNAL_ALLOWED",
+    "DETECT_EXTERNAL_ALLOWED",
     "OBS_EXTERNAL_ALLOWED",
     "ImportEdge",
     "import_edges",
@@ -40,15 +41,16 @@ __all__ = [
 #: top-level modules such as ``repro/__init__.py`` are exempt).
 LAYER_CONTRACT: dict[str, frozenset[str]] = {
     "obs": frozenset(),
+    "detect": frozenset({"obs"}),
     "core": frozenset({"obs"}),
     "sim": frozenset({"core", "obs"}),
     "analysis": frozenset({"core", "obs"}),
-    "cloudsim": frozenset({"core", "sim", "obs"}),
+    "cloudsim": frozenset({"core", "sim", "detect", "obs"}),
     "runtime": frozenset({"core", "sim", "cloudsim", "obs"}),
-    "service": frozenset({"core", "sim", "analysis", "obs"}),
+    "service": frozenset({"core", "sim", "analysis", "detect", "obs"}),
     "experiments": frozenset(
         {"core", "sim", "analysis", "cloudsim", "runtime", "service",
-         "devtools", "obs"}
+         "devtools", "detect", "obs"}
     ),
     "devtools": frozenset(),
 }
@@ -56,6 +58,10 @@ LAYER_CONTRACT: dict[str, frozenset[str]] = {
 #: the only non-stdlib packages ``core`` may touch: the paper's math is
 #: numpy + stdlib ``math``, nothing heavier.
 CORE_EXTERNAL_ALLOWED = frozenset({"numpy"})
+
+#: ``detect`` (streaming sketches) is a leaf like core: stdlib + numpy
+#: + obs, so both the live service and the simulators can embed it.
+DETECT_EXTERNAL_ALLOWED = frozenset({"numpy"})
 
 #: ``obs`` must stay importable from *any* layer, including core, so it
 #: may not pull in anything beyond the stdlib — not even numpy.
@@ -132,10 +138,11 @@ def import_edges(program: ProgramContext) -> list[ImportEdge]:
 @project_rule(
     "P1",
     "import-layering",
-    "The package layering contract (obs -> stdlib only; core -> "
-    "stdlib/numpy/obs; sim/analysis -> core; cloudsim -> core+sim; "
-    "runtime -> core+sim+cloudsim; experiments -> anything; devtools "
-    "isolated; every non-devtools layer may use obs) "
+    "The package layering contract (obs -> stdlib only; detect -> "
+    "stdlib/numpy/obs; core -> stdlib/numpy/obs; sim/analysis -> core; "
+    "cloudsim -> core+sim+detect; runtime -> core+sim+cloudsim; "
+    "service -> core+sim+analysis+detect; experiments -> anything; "
+    "devtools isolated; every non-devtools layer may use obs) "
     "keeps the paper's math independently testable and the linter "
     "side-effect free; an import against the grain couples layers the "
     "architecture keeps apart.",
@@ -170,6 +177,11 @@ def check_import_layering(
             CORE_EXTERNAL_ALLOWED,
             "core/ may only depend on the stdlib and numpy, not "
             "`{top}` — keep the algorithmic layer lightweight",
+        ),
+        "detect": (
+            DETECT_EXTERNAL_ALLOWED,
+            "detect/ may only depend on the stdlib and numpy, not "
+            "`{top}` — the sketches must embed anywhere",
         ),
         "obs": (
             OBS_EXTERNAL_ALLOWED,

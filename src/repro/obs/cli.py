@@ -71,6 +71,34 @@ def _load(path: str) -> list[Event]:
     return read_events(path)
 
 
+def heavy_hitter_tables(
+    events: Sequence[Event],
+) -> dict[str, dict[str, object]]:
+    """Latest ``heavy_hitters`` report per replica, rendered
+    structurally from the event payload (this layer never imports
+    :mod:`repro.detect`): replica -> window tallies + top-k rows of
+    ``[key, count, error]``."""
+    latest: dict[str, dict[str, object]] = {}
+    for event in events:
+        if event.kind != "heavy_hitters":
+            continue
+        data = event.data
+        replica = str(data.get("replica", "?"))
+        previous = latest.get(replica)
+        if previous is not None and previous["time"] > event.time:
+            continue
+        latest[replica] = {
+            "time": event.time,
+            "total": int(data.get("total", 0)),
+            "throttled": int(data.get("throttled", 0)),
+            "top": [
+                [str(key), int(count), int(error)]
+                for key, count, error in data.get("top", [])
+            ],
+        }
+    return dict(sorted(latest.items()))
+
+
 def summarize_events(events: Sequence[Event]) -> dict[str, object]:
     """The ``summarize`` payload (testable without the CLI)."""
     kinds: dict[str, int] = {}
@@ -106,6 +134,7 @@ def summarize_events(events: Sequence[Event]) -> dict[str, object]:
             }
             for name, stats in sorted(span_stats.items())
         },
+        "heavy_hitters": heavy_hitter_tables(events),
     }
 
 
@@ -135,6 +164,22 @@ def _cmd_summarize(options: argparse.Namespace) -> int:
                 f"total={stats['total_s']:.6f}s "
                 f"max={stats['max_s']:.6f}s"
             )
+    hitters = summary["heavy_hitters"]
+    assert isinstance(hitters, dict)
+    if hitters:
+        print("  heavy hitters (latest report per replica):")
+        for replica, table in hitters.items():
+            print(
+                f"    replica {replica}: {table['total']} requests, "
+                f"{table['throttled']} throttled "
+                f"@t={table['time']:.3f}"
+            )
+            for key, count, error in table["top"]:
+                guaranteed = count - error
+                print(
+                    f"      {key:<20} count<={count} "
+                    f"(>= {guaranteed})"
+                )
     return 0
 
 

@@ -26,10 +26,11 @@ import asyncio
 import time
 from typing import Callable
 
+from ..detect import HeavyHitterReport, SketchParams
 from ..obs.instruments import Instruments
 from ..obs.metrics import Counter
 from .config import ServiceConfig
-from .tokens import SaturationMonitor, TokenBucket
+from .tokens import SaturationMonitor, SketchSaturationMonitor, TokenBucket
 
 __all__ = ["BackendStats", "ReplicaBackend"]
 
@@ -91,12 +92,28 @@ class ReplicaBackend:
         self.bucket = TokenBucket(
             rate=config.bucket_rate, burst=config.bucket_burst, clock=clock
         )
-        self.monitor = SaturationMonitor(
-            window=config.saturation_window,
-            overload_ratio=config.overload_ratio,
-            min_events=config.min_window_events,
-            clock=clock,
-        )
+        self.monitor: SaturationMonitor | SketchSaturationMonitor
+        if config.detector == "sketch":
+            self.monitor = SketchSaturationMonitor(
+                window=config.saturation_window,
+                overload_ratio=config.overload_ratio,
+                min_events=config.min_window_events,
+                clock=clock,
+                params=SketchParams(
+                    epsilon=config.sketch_epsilon,
+                    delta=config.sketch_delta,
+                    top_k=config.sketch_top_k,
+                ),
+                epochs=config.sketch_epochs,
+            )
+        else:
+            self.monitor = SaturationMonitor(
+                window=config.saturation_window,
+                overload_ratio=config.overload_ratio,
+                min_events=config.min_window_events,
+                clock=clock,
+            )
+        self._clock = clock
         self.whitelist: set[str] = set()
         self.stats = BackendStats()
         self.quiescing = False
@@ -187,6 +204,26 @@ class ReplicaBackend:
         """True when the throttle ratio shows sustained saturation."""
         return self.monitor.saturated()
 
+    def heavy_hitter_report(self) -> HeavyHitterReport | None:
+        """Windowed top-talker report, or None in exact-detector mode.
+
+        Only the sketch monitor attributes traffic to clients; the
+        coordinator's confirmation sweep treats an absent report as "no
+        auxiliary evidence" and falls back to pure saturation.
+        """
+        if not isinstance(self.monitor, SketchSaturationMonitor):
+            return None
+        total, throttled = self.monitor.counts()
+        return HeavyHitterReport(
+            replica_id=self.replica_id,
+            time=self._clock(),
+            window=self.config.saturation_window,
+            total=total,
+            throttled=throttled,
+            top=tuple(self.monitor.heavy_hitters()),
+            state_bytes=self.monitor.state_bytes(),
+        )
+
     # ------------------------------------------------------------------
     # request handling
     # ------------------------------------------------------------------
@@ -203,11 +240,11 @@ class ReplicaBackend:
             self._count("denied")
             return f"DENY {seq}"
         if self.bucket.try_acquire():
-            self.monitor.record(admitted=True)
+            self.monitor.record(admitted=True, client_id=client_id)
             self.stats.served += 1
             self._count("served")
             return f"OK {seq} {self.replica_id}"
-        self.monitor.record(admitted=False)
+        self.monitor.record(admitted=False, client_id=client_id)
         self.stats.throttled += 1
         self._count("throttled")
         return f"THROTTLED {seq}"
@@ -260,7 +297,7 @@ class ReplicaBackend:
                 ("replica",),
             ).set(self.bucket.tokens, replica=self.replica_id)
         total, throttled = self.monitor.counts()
-        return {
+        snap: dict[str, object] = {
             "replica_id": self.replica_id,
             "port": self.port,
             "active": self.is_active,
@@ -270,3 +307,8 @@ class ReplicaBackend:
             "window_throttled": throttled,
             "stats": self.stats.to_dict(),
         }
+        report = self.heavy_hitter_report()
+        if report is not None:
+            snap["detector"] = "sketch"
+            snap["heavy_hitters"] = [h.to_list() for h in report.top]
+        return snap

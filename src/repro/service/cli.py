@@ -61,6 +61,19 @@ def build_parser() -> argparse.ArgumentParser:
         help="load-generator RNG seed",
     )
     scenario.add_argument(
+        "--detector", choices=("exact", "sketch"),
+        default=ServiceConfig.detector,
+        help="saturation-monitor backend: per-event deque (exact) or "
+        "fixed-memory sketch window with heavy-hitter attribution "
+        "(default: %(default)s)",
+    )
+    scenario.add_argument(
+        "--bot-profile", choices=("burst", "flood"),
+        default=LoadConfig.bot_profile,
+        help="bot flood shape: rate-paced pipelined bursts, or an "
+        "unpaced socket-saturating flood (default: %(default)s)",
+    )
+    scenario.add_argument(
         "--telemetry-port", type=int, default=None,
         help="serve live metrics while the scenario runs "
         "(Prometheus text at /metrics, JSON snapshot elsewhere)",
@@ -127,10 +140,12 @@ def _cmd_scenario(options: argparse.Namespace) -> int:
     service_config = ServiceConfig(
         n_replicas=options.replicas, seed=options.seed,
         telemetry_port=options.telemetry_port,
+        detector=options.detector,
     )
     load_config = LoadConfig(
         n_benign=options.clients, n_bots=options.bots,
         seed=options.load_seed,
+        bot_profile=options.bot_profile,
     )
     report = run_scenario_sync(
         service_config, load_config,

@@ -155,6 +155,11 @@ class ServiceCoordinator:
         self.assignments: dict[str, str] = {}
         self.shuffles: list[LiveShuffleRecord] = []
         self.believed_bots: int | None = None
+        #: clients named by per-replica heavy-hitter reports as holding
+        #: a dominant share of a saturated window (sketch detector
+        #: only).  Its size lower-bounds the bot population and
+        #: guards the quarantine decision in :meth:`_shuffle`.
+        self.suspected_bots: set[str] = set()
         self.quarantine_replicas: set[str] = set()
         self.budget_exhausted = False
         self._calm_sweeps = 0
@@ -249,6 +254,14 @@ class ServiceCoordinator:
     #: this many times the configured pool size (bounds the transient
     #: replica fan-out of the singleton round).
     DISPERSE_MAX_FACTOR = 4
+
+    #: A reported heavy hitter becomes a *suspect* when its guaranteed
+    #: (error-discounted) count holds at least this share of the
+    #: saturated replica's window.  Bots flooding a replica each hold a
+    #: large share of its window; a benign client on the same replica
+    #: holds a sliver — 10% separates them with a wide margin at the
+    #: configured bucket rates.
+    SUSPECT_MIN_SHARE = 0.1
 
     @property
     def quarantined(self) -> bool:
@@ -345,6 +358,7 @@ class ServiceCoordinator:
             # union for a few sweeps so one shuffle (and one estimator
             # observation X) covers the whole co-saturating set.
             self._pending_attacked |= attacked_now
+            self._collect_reports(attacked_now)
             self._pending_sweeps += 1
             if self._pending_sweeps <= self.config.detection_confirmations:
                 continue
@@ -365,6 +379,38 @@ class ServiceCoordinator:
                 self.budget_exhausted = True
                 continue
             await self._shuffle(targets)
+
+    def _collect_reports(self, attacked_ids: set[str]) -> None:
+        """Harvest heavy-hitter evidence from saturated replicas.
+
+        In sketch-detector mode every saturated replica can say *who*
+        filled its window.  Each report rides the obs audit trail
+        (kind ``heavy_hitters``, rendered by ``repro-obs summarize``),
+        and talkers holding a dominant guaranteed share become
+        suspects — each demonstrably sent attack-scale traffic, so
+        the set's size is a hard lower bound on the bot population.
+        The bound guards the quarantine decision in :meth:`_shuffle`:
+        the coordinator refuses to write a subset off as all-bot
+        while more bots are demonstrated than it believes exist.
+        """
+        obs = self.instruments
+        for replica_id in sorted(attacked_ids):
+            backend = self.pool.get(replica_id)
+            if backend is None or not backend.is_active:
+                continue
+            report = backend.heavy_hitter_report()
+            if report is None:  # exact detector: no attribution
+                continue
+            if obs is not None:
+                obs.events.append(report.to_event(source="service"))
+            self.suspected_bots.update(
+                report.suspects(self.SUSPECT_MIN_SHARE)
+            )
+        if obs is not None and self.suspected_bots:
+            obs.registry.gauge(
+                "service_suspected_bots",
+                "Distinct clients named by heavy-hitter reports.",
+            ).set(float(len(self.suspected_bots)))
 
     # ------------------------------------------------------------------
     # estimation
@@ -532,8 +578,24 @@ class ServiceCoordinator:
             # Equation 1 says no further shuffle of *these* clients
             # saves anyone: the population is believed all-bot (the
             # common case is a single bot isolated on its own
-            # replica).  Quarantine the replicas — leave the bots
-            # flooding them — and keep watching the rest.
+            # replica).  Before giving up on them, check the
+            # heavy-hitter evidence: every suspect demonstrably sent
+            # a dominant share of some saturated window (guaranteed
+            # counts, not estimates), so the bot population is at
+            # least that large.  If more bots are demonstrated than
+            # the structural estimate has converged to, quarantining
+            # now would write off clients a wider shuffle could still
+            # save — adopt the demonstrated floor and let the next
+            # sweep re-plan with it instead.
+            demonstrated = len(self.suspected_bots)
+            if (
+                self.believed_bots is not None
+                and demonstrated > self.believed_bots
+            ):
+                self.believed_bots = demonstrated
+                return
+            # Quarantine the replicas — leave the bots flooding
+            # them — and keep watching the rest.
             self.quarantine_replicas.update(attacked_ids)
             return
 
@@ -594,6 +656,8 @@ class ServiceCoordinator:
             "max_shuffles": self.max_shuffles,
             "budget_exhausted": self.budget_exhausted,
             "believed_bots": self.believed_bots,
+            "detector": self.config.detector,
+            "suspected_bots": sorted(self.suspected_bots),
             "quarantined": self.quarantined,
             "quarantine_replicas": sorted(self.quarantine_replicas),
             "plan_cache": {

@@ -42,6 +42,12 @@ class LoadConfig:
             round trip and can fail to saturate a replica it has to
             itself; pipelining makes the flood open-loop, like a real
             flooder that does not wait for answers.
+        bot_profile: flood shape — ``"burst"`` paces pipelined bursts
+            at ``bot_rps`` (the original, rate-targeted bot);
+            ``"flood"`` never paces: requests stream as fast as the
+            socket accepts them while a companion reader drains
+            replies, the profile that actually saturates the hot path
+            the sketch detectors are built for.
         bot_start_delay: seconds of benign-only warmup before the flood
             (the paper's timeline: provision, then attack).
         request_timeout: client-side response deadline (seconds).
@@ -54,6 +60,7 @@ class LoadConfig:
     benign_rps: float = 2.0
     bot_rps: float = 200.0
     bot_burst: int = 10
+    bot_profile: str = "burst"
     bot_start_delay: float = 1.0
     request_timeout: float = 2.0
     window: float = 0.5
@@ -66,6 +73,8 @@ class LoadConfig:
             raise ValueError("request rates must be > 0")
         if self.bot_burst < 1:
             raise ValueError("bot_burst must be >= 1")
+        if self.bot_profile not in ("burst", "flood"):
+            raise ValueError("bot_profile must be 'burst' or 'flood'")
         if self.window <= 0:
             raise ValueError("window must be > 0")
 
@@ -237,6 +246,67 @@ class LoadGenerator:
             finally:
                 writer.close()
 
+    async def _bot_flood(self, index: int) -> None:
+        """Unpaced flood bot: saturate the socket, never wait.
+
+        Writes pipelined request blocks back-to-back with no pacing
+        sleep — the only throttle is TCP backpressure via ``drain()``.
+        A companion task consumes replies concurrently so the reply
+        stream never stalls the flood (nor fills our receive buffer),
+        and flags MOVED/DENY/EOF so the bot re-locates a shuffled-away
+        replica.
+        """
+        client_id = self.bot_ids[index]
+        block = (
+            f"REQ {client_id} 0\n".encode("utf-8") * self.config.bot_burst
+        )
+        await asyncio.sleep(self.config.bot_start_delay)
+        while not self._stop.is_set():
+            try:
+                host, port = await self._locate(client_id)
+                reader, writer = await asyncio.open_connection(host, port)
+            except (asyncio.TimeoutError, OSError, ConnectionError):
+                await asyncio.sleep(self.config.request_timeout / 4)
+                continue
+            relocate = asyncio.Event()
+
+            async def drain_replies(
+                reader: asyncio.StreamReader = reader,
+                relocate: asyncio.Event = relocate,
+            ) -> None:
+                try:
+                    while True:
+                        line = await reader.readline()
+                        if not line:
+                            break  # EOF: replica closed / moved
+                        verb = line.split()[0] if line.strip() else b""
+                        if verb == b"OK":
+                            self.bot_served += 1
+                        elif verb == b"THROTTLED":
+                            self.bot_throttled += 1
+                        else:  # MOVED / DENY
+                            break
+                except (OSError, asyncio.IncompleteReadError):
+                    pass
+                finally:
+                    relocate.set()
+
+            drain = asyncio.create_task(drain_replies())
+            try:
+                while not self._stop.is_set() and not relocate.is_set():
+                    writer.write(block)
+                    await writer.drain()
+                    # drain() only yields above the high-water mark;
+                    # yield explicitly so the server (same loop in the
+                    # in-process harness) gets scheduled.
+                    await asyncio.sleep(0)
+            except (OSError, ConnectionError):
+                pass  # target went dark mid-flood: re-locate
+            finally:
+                drain.cancel()
+                await asyncio.gather(drain, return_exceptions=True)
+                writer.close()
+
     # ------------------------------------------------------------------
     # sampling
     # ------------------------------------------------------------------
@@ -284,8 +354,13 @@ class LoadGenerator:
             asyncio.create_task(self._benign(i))
             for i in range(self.config.n_benign)
         ]
+        bot = (
+            self._bot_flood
+            if self.config.bot_profile == "flood"
+            else self._bot
+        )
         tasks += [
-            asyncio.create_task(self._bot(i))
+            asyncio.create_task(bot(i))
             for i in range(self.config.n_bots)
         ]
         sampler = asyncio.create_task(self._sampler())

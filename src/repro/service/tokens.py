@@ -13,8 +13,17 @@ signal, the observable the whole control loop feeds on:
   bucket and drives that fraction toward 1, while a replica carrying
   only benign clients (provisioned below capacity) stays near 0 — the
   separation that makes saturation a usable attack signal.
+- :class:`SketchSaturationMonitor` — the same saturation verdict from
+  fixed memory.  The exact monitor's deque grows with request rate; the
+  sketch variant keeps the window in a :class:`repro.detect.SketchWindow`
+  (epoch-rotated count-min sketches), so memory is constant in both
+  rate and client count, and as a bonus it can name the window's top
+  talkers — the per-replica heavy-hitter evidence the coordinator's
+  confirmation sweep consumes.  Verdict semantics match the exact
+  monitor (same ``overload_ratio`` / ``min_events`` thresholds) up to
+  the window's epoch granularity; the equivalence is pinned by tests.
 
-Both take an injectable monotonic ``clock`` so unit tests can drive
+All take an injectable monotonic ``clock`` so unit tests can drive
 them deterministically; the service itself runs them on
 ``time.monotonic`` (the ``service`` layer is exempt from the simulator
 wall-clock ban — see the P4 rule scope in reprolint).
@@ -26,7 +35,9 @@ import time
 from collections import deque
 from typing import Callable
 
-__all__ = ["TokenBucket", "SaturationMonitor"]
+from ..detect import HeavyHitter, SketchParams, SketchWindow
+
+__all__ = ["TokenBucket", "SaturationMonitor", "SketchSaturationMonitor"]
 
 
 class TokenBucket:
@@ -112,8 +123,14 @@ class SaturationMonitor:
             if throttled:
                 self._throttled_in_window -= 1
 
-    def record(self, admitted: bool) -> None:
-        """Record one request outcome (admitted or throttled)."""
+    def record(self, admitted: bool, client_id: str | None = None) -> None:
+        """Record one request outcome (admitted or throttled).
+
+        ``client_id`` is accepted for interface parity with
+        :class:`SketchSaturationMonitor` and ignored: the exact monitor
+        measures saturation only, not who caused it.
+        """
+        del client_id
         now = self._clock()
         # Appended by request handlers, pruned by the detection sweep;
         # record()/counts() are fully synchronous (no await), so each
@@ -145,3 +162,80 @@ class SaturationMonitor:
     def reset(self) -> None:
         self._events.clear()
         self._throttled_in_window = 0
+
+
+class SketchSaturationMonitor:
+    """Fixed-memory drop-in for :class:`SaturationMonitor`.
+
+    Same constructor thresholds, same verdict interface (``record`` /
+    ``counts`` / ``throttle_ratio`` / ``saturated`` / ``reset``), but
+    the window lives in epoch-rotated sketches instead of a per-event
+    deque, so memory does not grow with request rate — and the monitor
+    additionally knows *who* filled the window (:meth:`heavy_hitters`).
+
+    Args:
+        window: window length in seconds.
+        overload_ratio: throttled fraction at which :meth:`saturated`
+            reports True.
+        min_events: minimum observations inside the window before the
+            signal may fire.
+        clock: monotonic time source (injectable for tests).
+        params: sketch sizing (ε/δ/top-k/seed); defaults are fine for
+            replica-scale traffic.
+        epochs: window ring cells — temporal resolution of expiry.
+    """
+
+    def __init__(
+        self,
+        window: float,
+        overload_ratio: float,
+        min_events: int,
+        clock: Callable[[], float] = time.monotonic,
+        params: SketchParams | None = None,
+        epochs: int = 4,
+    ) -> None:
+        if not 0.0 < overload_ratio <= 1.0:
+            raise ValueError("overload_ratio must be within (0, 1]")
+        self.window = window
+        self.overload_ratio = overload_ratio
+        self.min_events = min_events
+        self._clock = clock
+        self._window = SketchWindow(window, params=params, epochs=epochs)
+
+    def record(self, admitted: bool, client_id: str | None = None) -> None:
+        """Record one request outcome, attributed to ``client_id``.
+
+        Same single-event-loop discipline as the exact monitor: the
+        update is synchronous (no await), so handlers cannot interleave
+        mid-update.
+        """
+        # reprolint: disable=P9
+        self._window.record(self._clock(), admitted, key=client_id)
+
+    def counts(self) -> tuple[int, int]:
+        """(total, throttled) events currently inside the window."""
+        return self._window.counts(self._clock())
+
+    def throttle_ratio(self) -> float:
+        total, throttled = self.counts()
+        if total == 0:
+            return 0.0
+        return throttled / total
+
+    def saturated(self) -> bool:
+        """True when the window shows sustained overload."""
+        total, throttled = self.counts()
+        if total < self.min_events:
+            return False
+        return throttled / total >= self.overload_ratio
+
+    def heavy_hitters(self, n: int | None = None) -> list[HeavyHitter]:
+        """The window's top talkers (who is filling the bucket)."""
+        return self._window.heavy_hitters(self._clock(), n)
+
+    def state_bytes(self) -> int:
+        """Detector memory footprint (constant in request rate)."""
+        return self._window.state_bytes()
+
+    def reset(self) -> None:
+        self._window.reset()

@@ -1,0 +1,146 @@
+"""Space-saving summary: recall, count brackets, deterministic merging."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.detect import HeavyHitter, SpaceSaving
+
+streams = st.lists(
+    st.tuples(st.integers(0, 30), st.integers(1, 50)),
+    min_size=1, max_size=200,
+)
+
+
+def _replay(stream, capacity: int = 8) -> tuple[SpaceSaving, Counter]:
+    summary = SpaceSaving(capacity)
+    true: Counter = Counter()
+    for idx, count in stream:
+        key = f"k-{idx}"
+        summary.add(key, count)
+        true[key] += count
+    return summary, true
+
+
+class TestGuarantees:
+    @given(streams)
+    def test_recall_above_guaranteed_threshold(self, stream):
+        """Any key whose true count exceeds total/capacity cannot have
+        been evicted — the space-saving promise."""
+        summary, true = _replay(stream)
+        threshold = summary.guaranteed_threshold()
+        for key, count in true.items():
+            if count > threshold:
+                assert key in summary
+
+    @given(streams)
+    def test_reported_counts_bracket_the_truth(self, stream):
+        summary, true = _replay(stream)
+        for hitter in summary.top():
+            assert hitter.count >= true[hitter.key]
+            assert hitter.count - hitter.error <= true[hitter.key]
+
+    @given(streams)
+    def test_total_and_size_bounds(self, stream):
+        summary, true = _replay(stream, capacity=4)
+        assert summary.total == sum(true.values())
+        assert len(summary) <= 4
+        assert len(summary.top()) == len(summary)
+
+    def test_untracked_key_estimates_zero(self):
+        summary = SpaceSaving(2)
+        summary.add("a", 5)
+        assert summary.estimate("a") == 5
+        assert summary.estimate("never-seen") == 0
+
+
+class TestEviction:
+    def test_newcomer_inherits_the_minimum_as_floor(self):
+        summary = SpaceSaving(2)
+        summary.add("a", 10)
+        summary.add("b", 3)
+        summary.add("c", 1)  # evicts b (count 3): c = 3 + 1, error 3
+        assert "b" not in summary
+        top = summary.top()
+        assert top[0] == HeavyHitter(key="a", count=10, error=0)
+        assert top[1] == HeavyHitter(key="c", count=4, error=3)
+
+    def test_eviction_ties_break_on_key_not_insertion_order(self):
+        summary = SpaceSaving(2)
+        summary.add("zz", 2)
+        summary.add("aa", 2)
+        summary.add("new", 1)  # tie at count 2: evict "aa" (smaller key)
+        assert "aa" not in summary
+        assert "zz" in summary and "new" in summary
+
+    def test_top_ranks_by_count_then_key(self):
+        summary = SpaceSaving(4)
+        for key in ("b", "a", "c"):
+            summary.add(key, 5)
+        summary.add("c", 1)
+        assert [h.key for h in summary.top()] == ["c", "a", "b"]
+        assert [h.key for h in summary.top(2)] == ["c", "a"]
+
+
+class TestMerge:
+    @given(st.lists(streams, min_size=2, max_size=4))
+    def test_merge_is_shard_order_independent(self, shards):
+        summaries = [_replay(shard)[0] for shard in shards]
+        forward = SpaceSaving.merge_all(summaries)
+        backward = SpaceSaving.merge_all(summaries[::-1])
+        assert forward.to_bytes() == backward.to_bytes()
+
+    @given(st.lists(streams, min_size=2, max_size=3))
+    def test_merge_preserves_total_and_capacity_bound(self, shards):
+        summaries = [_replay(shard, capacity=4)[0] for shard in shards]
+        merged = SpaceSaving.merge_all(summaries)
+        assert merged.total == sum(s.total for s in summaries)
+        assert len(merged) <= merged.capacity
+
+    def test_merge_sums_per_key_counts_and_errors(self):
+        left = SpaceSaving(4)
+        right = SpaceSaving(4)
+        left.add("bot", 40)
+        right.add("bot", 60)
+        right.add("benign", 2)
+        merged = left.merge(right)
+        assert merged.estimate("bot") == 100
+        top = merged.top(1)[0]
+        assert top.key == "bot" and top.error == 0
+
+    def test_merge_all_rejects_empty_input(self):
+        with pytest.raises(ValueError):
+            SpaceSaving.merge_all([])
+
+
+class TestStateAndValidation:
+    def test_reset_restores_empty_state(self):
+        summary = SpaceSaving(4)
+        empty = summary.to_bytes()
+        summary.add("a", 3)
+        summary.reset()
+        assert summary.to_bytes() == empty
+        assert summary.total == 0
+
+    def test_state_bytes_bounded_by_capacity(self):
+        summary = SpaceSaving(8)
+        for i in range(10_000):
+            summary.add(f"client-{i:05d}")
+        assert len(summary) == 8
+        # 8 keys of ~12 chars + 16 bytes of counters each.
+        assert summary.state_bytes() < 8 * (16 + 16)
+
+    def test_rejects_degenerate_parameters(self):
+        with pytest.raises(ValueError):
+            SpaceSaving(0)
+        summary = SpaceSaving(2)
+        with pytest.raises(ValueError):
+            summary.add("k", -1)
+
+    def test_heavy_hitter_row_shape(self):
+        hitter = HeavyHitter(key="bot", count=7, error=2)
+        assert hitter.to_list() == ["bot", 7, 2]

@@ -1,0 +1,80 @@
+"""Heavy-hitter reports: obs-event interchange and suspect naming."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.detect import HeavyHitter, HeavyHitterReport
+from repro.obs import Event
+
+
+def _report(**overrides) -> HeavyHitterReport:
+    fields = dict(
+        replica_id="r-3",
+        time=12.5,
+        window=1.0,
+        total=200,
+        throttled=150,
+        top=(
+            HeavyHitter(key="bot-1", count=90, error=0),
+            HeavyHitter(key="bot-2", count=70, error=10),
+            HeavyHitter(key="c-5", count=8, error=3),
+        ),
+        state_bytes=22_080,
+    )
+    fields.update(overrides)
+    return HeavyHitterReport(**fields)
+
+
+class TestInterchange:
+    def test_event_round_trip_is_lossless(self):
+        report = _report()
+        event = report.to_event(source="service")
+        assert event.kind == "heavy_hitters"
+        assert event.source == "service"
+        assert HeavyHitterReport.from_event(event) == report
+
+    def test_integer_replica_ids_survive_the_round_trip(self):
+        report = _report(replica_id=7)
+        restored = HeavyHitterReport.from_event(report.to_event())
+        assert restored.replica_id == 7
+
+    def test_payload_is_json_ready(self):
+        payload = _report().to_dict()
+        assert json.loads(json.dumps(payload)) == payload
+        assert payload["top"][0] == ["bot-1", 90, 0]
+
+    def test_from_event_rejects_other_kinds(self):
+        event = Event(time=1.0, kind="shuffle", data={})
+        with pytest.raises(ValueError):
+            HeavyHitterReport.from_event(event)
+
+    def test_missing_optional_fields_default(self):
+        event = Event(
+            time=3.0,
+            kind="heavy_hitters",
+            data={
+                "replica": "r-1", "window": 1.0,
+                "total": 10, "throttled": 2,
+            },
+        )
+        report = HeavyHitterReport.from_event(event)
+        assert report.top == ()
+        assert report.state_bytes == 0
+
+
+class TestVerdicts:
+    def test_throttle_ratio(self):
+        assert _report().throttle_ratio == pytest.approx(0.75)
+        assert _report(total=0, throttled=0).throttle_ratio == 0.0
+
+    def test_suspects_use_guaranteed_counts_only(self):
+        # bot-1: 90/200 guaranteed; bot-2: (70-10)/200 = 0.30;
+        # c-5: (8-3)/200 = 0.025 — below a 10% floor.
+        assert _report().suspects(min_share=0.1) == ["bot-1", "bot-2"]
+        assert _report().suspects(min_share=0.4) == ["bot-1"]
+
+    def test_suspects_on_an_empty_window(self):
+        assert _report(total=0, throttled=0, top=()).suspects(0.1) == []

@@ -1,0 +1,240 @@
+"""Count-min sketch: the guarantees the detection path stands on."""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.detect import CountMinSketch, key_digest, key_digests
+
+# A stream is a list of (key-index, count) pairs; small key spaces force
+# collisions, large counts exercise the weighted paths.
+streams = st.lists(
+    st.tuples(st.integers(0, 40), st.integers(1, 50)),
+    min_size=1, max_size=200,
+)
+
+
+def _true_counts(stream) -> Counter:
+    totals: Counter = Counter()
+    for idx, count in stream:
+        totals[f"k-{idx}"] += count
+    return totals
+
+
+class TestDigests:
+    def test_digest_is_stable_and_64_bit(self):
+        value = key_digest("client-1")
+        assert value == key_digest("client-1")
+        assert value == key_digest(b"client-1")
+        assert 0 <= value < 2**64
+
+    def test_digest_batch_matches_scalar(self):
+        keys = [f"c-{i}" for i in range(10)]
+        batch = key_digests(keys)
+        assert batch.dtype == np.uint64
+        assert [int(d) for d in batch] == [key_digest(k) for k in keys]
+
+
+class TestGuarantees:
+    @given(streams)
+    def test_estimate_never_undercounts(self, stream):
+        sketch = CountMinSketch(width=32, depth=4)
+        for idx, count in stream:
+            sketch.add(f"k-{idx}", count)
+        for key, true in _true_counts(stream).items():
+            assert sketch.estimate(key) >= true
+
+    @given(streams)
+    def test_overestimate_within_epsilon_n(self, stream):
+        """estimate - true <= e/width * N except with probability
+        ~e^-depth per key; blake2b digests are data-independent, so the
+        violation budget is the union bound with one key of slack."""
+        sketch = CountMinSketch(width=64, depth=5)
+        for idx, count in stream:
+            sketch.add(f"k-{idx}", count)
+        true = _true_counts(stream)
+        bound = sketch.error_bound()
+        violations = sum(
+            1 for key, t in true.items()
+            if sketch.estimate(key) - t > bound
+        )
+        delta = math.exp(-sketch.depth)
+        assert violations <= math.ceil(delta * len(true)) + 1
+
+    @given(streams)
+    def test_total_tracks_stream_mass(self, stream):
+        sketch = CountMinSketch(width=16, depth=3)
+        for idx, count in stream:
+            sketch.add(f"k-{idx}", count)
+        assert sketch.total == sum(count for _, count in stream)
+
+    def test_unseen_key_estimate_is_collision_noise_only(self):
+        sketch = CountMinSketch(width=1024, depth=5)
+        sketch.add("present", 100)
+        # With one key in a wide sketch a disjoint key reads zero.
+        assert sketch.estimate("absent") == 0
+
+
+class TestBatchPath:
+    @given(streams)
+    def test_batch_estimates_never_undercount(self, stream):
+        sketch = CountMinSketch(width=32, depth=4)
+        keys = [f"k-{idx}" for idx, _ in stream]
+        counts = np.array([c for _, c in stream], dtype=np.int64)
+        estimates = sketch.add_batch(key_digests(keys), counts)
+        assert estimates.shape == (len(stream),)
+        true = _true_counts(stream)
+        for key, t in true.items():
+            assert sketch.estimate(key) >= t
+
+    @given(streams)
+    def test_batch_is_order_independent(self, stream):
+        """Duplicates aggregate before the counter update, so any
+        permutation of one batch produces byte-identical state."""
+        keys = [f"k-{idx}" for idx, _ in stream]
+        counts = np.array([c for _, c in stream], dtype=np.int64)
+        order = np.arange(len(stream))
+        reversed_order = order[::-1]
+        forward = CountMinSketch(width=32, depth=4)
+        forward.add_batch(key_digests(keys), counts)
+        backward = CountMinSketch(width=32, depth=4)
+        backward.add_batch(
+            key_digests([keys[i] for i in reversed_order]),
+            counts[reversed_order],
+        )
+        assert forward.to_bytes() == backward.to_bytes()
+
+    @given(streams)
+    def test_plain_batch_matches_scalar_exactly(self, stream):
+        """Without conservative update the counters are pure sums, so
+        the scalar and batch paths agree byte for byte."""
+        scalar = CountMinSketch(width=32, depth=4, conservative=False)
+        for idx, count in stream:
+            scalar.add(f"k-{idx}", count)
+        batch = CountMinSketch(width=32, depth=4, conservative=False)
+        keys = [f"k-{idx}" for idx, _ in stream]
+        counts = np.array([c for _, c in stream], dtype=np.int64)
+        batch.add_batch(key_digests(keys), counts)
+        assert scalar.to_bytes() == batch.to_bytes()
+
+    @given(streams)
+    def test_conservative_batch_dominated_by_plain(self, stream):
+        """Conservative update never reads higher than the plain sketch
+        (that is its point: strictly less overestimate)."""
+        plain = CountMinSketch(width=16, depth=3, conservative=False)
+        cons = CountMinSketch(width=16, depth=3, conservative=True)
+        keys = [f"k-{idx}" for idx, _ in stream]
+        counts = np.array([c for _, c in stream], dtype=np.int64)
+        digests = key_digests(keys)
+        plain.add_batch(digests, counts)
+        cons.add_batch(digests, counts)
+        for key in {k for k, _ in _true_counts(stream).items()}:
+            assert cons.estimate(key) <= plain.estimate(key)
+
+    def test_estimate_batch_matches_scalar_queries(self):
+        sketch = CountMinSketch(width=64, depth=4)
+        keys = [f"k-{i % 7}" for i in range(50)]
+        sketch.add_batch(key_digests(keys))
+        digests = key_digests([f"k-{i}" for i in range(10)])
+        batch = sketch.estimate_batch(digests)
+        assert [int(v) for v in batch] == [
+            sketch.estimate_digest(int(d)) for d in digests
+        ]
+
+    def test_empty_batch_is_a_no_op(self):
+        sketch = CountMinSketch(width=8, depth=2)
+        out = sketch.add_batch(np.zeros(0, dtype=np.uint64))
+        assert out.size == 0
+        assert sketch.total == 0
+        assert sketch.estimate_batch(np.zeros(0, dtype=np.uint64)).size == 0
+
+
+class TestMerge:
+    @given(st.lists(streams, min_size=2, max_size=4))
+    def test_merge_is_shard_order_independent(self, shards):
+        def sketch_of(shard):
+            sketch = CountMinSketch(width=32, depth=4)
+            for idx, count in shard:
+                sketch.add(f"k-{idx}", count)
+            return sketch
+
+        sketches = [sketch_of(shard) for shard in shards]
+        forward = CountMinSketch.merge_all(sketches)
+        backward = CountMinSketch.merge_all(sketches[::-1])
+        assert forward.to_bytes() == backward.to_bytes()
+
+    @given(st.lists(streams, min_size=2, max_size=4))
+    def test_merged_estimate_covers_combined_stream(self, shards):
+        sketches = []
+        combined: Counter = Counter()
+        for shard in shards:
+            sketch = CountMinSketch(width=32, depth=4)
+            for idx, count in shard:
+                sketch.add(f"k-{idx}", count)
+                combined[f"k-{idx}"] += count
+            sketches.append(sketch)
+        merged = CountMinSketch.merge_all(sketches)
+        assert merged.total == sum(s.total for s in sketches)
+        for key, true in combined.items():
+            assert merged.estimate(key) >= true
+
+    def test_pairwise_merge_leaves_inputs_untouched(self):
+        left = CountMinSketch(width=16, depth=3)
+        right = CountMinSketch(width=16, depth=3)
+        left.add("a", 5)
+        right.add("b", 7)
+        merged = left.merge(right)
+        assert merged.total == 12
+        assert left.total == 5 and right.total == 7
+        assert merged.estimate("a") >= 5 and merged.estimate("b") >= 7
+
+    def test_incompatible_shapes_refuse_to_merge(self):
+        base = CountMinSketch(width=16, depth=3)
+        for other in (
+            CountMinSketch(width=32, depth=3),
+            CountMinSketch(width=16, depth=4),
+            CountMinSketch(width=16, depth=3, seed=1),
+        ):
+            assert not base.compatible(other)
+            with pytest.raises(ValueError):
+                base.merge(other)
+        with pytest.raises(ValueError):
+            CountMinSketch.merge_all([])
+
+
+class TestStateAndValidation:
+    def test_reset_restores_empty_state(self):
+        sketch = CountMinSketch(width=16, depth=3)
+        empty_bytes = sketch.to_bytes()
+        sketch.add("a", 10)
+        sketch.reset()
+        assert sketch.to_bytes() == empty_bytes
+        assert sketch.total == 0
+
+    def test_state_bytes_is_fixed_under_load(self):
+        sketch = CountMinSketch(width=136, depth=5)
+        before = sketch.state_bytes()
+        sketch.add_batch(key_digests([f"c-{i}" for i in range(5000)]))
+        assert sketch.state_bytes() == before
+
+    def test_seed_changes_the_hash_family(self):
+        a = CountMinSketch(width=64, depth=4, seed=0)
+        b = CountMinSketch(width=64, depth=4, seed=1)
+        digest = key_digest("probe")
+        assert a._indices(digest) != b._indices(digest)
+
+    @pytest.mark.parametrize("width,depth", [(0, 1), (1, 0), (-1, 2)])
+    def test_rejects_degenerate_shapes(self, width, depth):
+        with pytest.raises(ValueError):
+            CountMinSketch(width=width, depth=depth)
+
+    def test_rejects_negative_count(self):
+        sketch = CountMinSketch(width=8, depth=2)
+        with pytest.raises(ValueError):
+            sketch.add("k", -1)

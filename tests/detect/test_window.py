@@ -1,0 +1,148 @@
+"""Epoch-rotated sketch window: expiry, tallies, fixed memory."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.detect import SketchParams, SketchWindow, key_digests
+
+
+def _window(window: float = 1.0, epochs: int = 4) -> SketchWindow:
+    return SketchWindow(window, params=SketchParams(), epochs=epochs)
+
+
+class TestTallies:
+    def test_counts_and_throttle_ratio(self):
+        window = _window()
+        for admitted in (True, False, False, True):
+            window.record(0.1, admitted, key="c-1")
+        assert window.counts(0.1) == (4, 2)
+        assert window.throttle_ratio(0.1) == pytest.approx(0.5)
+
+    def test_record_without_key_moves_tallies_only(self):
+        window = _window()
+        window.record(0.1, True)
+        window.record(0.1, False)
+        assert window.counts(0.1) == (2, 1)
+        assert window.heavy_hitters(0.1) == []
+
+    def test_batch_and_scalar_tallies_agree(self):
+        keys = [f"c-{i % 5}" for i in range(40)]
+        throttled = 12
+        scalar = _window()
+        for i, key in enumerate(keys):
+            scalar.record(0.2, i >= throttled, key=key)
+        batch = _window()
+        batch.record_batch(
+            0.2, key_digests(keys), throttled=throttled, keys=keys
+        )
+        assert batch.counts(0.2) == scalar.counts(0.2) == (40, 12)
+
+    def test_weighted_record_counts_every_packet(self):
+        window = _window()
+        window.record(0.1, False, key="naive-fleet", count=500)
+        assert window.counts(0.1) == (500, 500)
+        assert window.estimate(0.1, "naive-fleet") >= 500
+
+    def test_empty_batch_is_a_no_op(self):
+        window = _window()
+        window.record_batch(0.1, np.zeros(0, dtype=np.uint64))
+        assert window.counts(0.1) == (0, 0)
+
+
+class TestExpiry:
+    def test_window_slides_events_out(self):
+        window = _window(window=1.0, epochs=4)
+        window.record(0.0, False, key="bot")
+        assert window.counts(0.5) == (1, 1)
+        # One full window later the event has rotated out (resolution
+        # is one epoch, so give it the extra quarter).
+        assert window.counts(1.5) == (0, 0)
+        assert window.estimate(1.5, "bot") == 0
+        assert window.heavy_hitters(1.5) == []
+
+    def test_stale_cell_is_cleared_on_reuse(self):
+        window = _window(window=1.0, epochs=2)
+        window.record(0.0, False, key="old")
+        # Far in the future the ring position is reused; the stale
+        # tally must not leak into the fresh epoch.
+        window.record(10.0, True, key="new")
+        assert window.counts(10.0) == (1, 0)
+
+    def test_ring_keeps_exactly_one_window_of_epochs(self):
+        window = _window(window=1.0, epochs=4)
+        for step in range(8):
+            window.record(step * 0.25, False, key="bot")
+        # Eight one-event epochs streamed through a four-cell ring:
+        # only the last window's worth remains visible.
+        assert window.counts(7 * 0.25) == (4, 4)
+
+
+class TestHeavyHitters:
+    def test_flooder_dominates_the_report(self):
+        window = _window()
+        keys = ["bot-1"] * 60 + [f"c-{i}" for i in range(40)]
+        window.record_batch(0.1, key_digests(keys), keys=keys)
+        top = window.heavy_hitters(0.1, 1)
+        assert top[0].key == "bot-1"
+        assert top[0].count >= 60
+
+    def test_scalar_promotion_finds_the_flooder_too(self):
+        window = _window()
+        for i in range(100):
+            key = "bot-1" if i % 2 == 0 else f"c-{i}"
+            window.record(0.1, False, key=key)
+        top = window.heavy_hitters(0.1, 1)
+        assert top and top[0].key == "bot-1"
+
+    def test_hitter_summary_merges_across_epochs(self):
+        window = _window(window=1.0, epochs=4)
+        for step in range(3):  # same talker across three epochs
+            window.record(step * 0.25, False, key="bot", count=30)
+        summary = window.hitter_summary(0.75)
+        assert summary.estimate("bot") >= 90
+        assert summary.total == 90
+
+    def test_batch_without_keys_skips_attribution(self):
+        window = _window()
+        digests = key_digests(["a"] * 50)
+        window.record_batch(0.1, digests, throttled=10)
+        assert window.counts(0.1) == (50, 10)
+        assert window.heavy_hitters(0.1) == []
+
+
+class TestStateAndValidation:
+    def test_state_bytes_flat_under_load(self):
+        window = _window()
+        keys = [f"c-{i}" for i in range(2000)]
+        window.record_batch(0.1, key_digests(keys), keys=keys)
+        loaded = window.state_bytes()
+        # Fixed sketch matrices + bounded top-k tables: within a couple
+        # hundred bytes of the empty detector, regardless of stream.
+        assert loaded - _window().state_bytes() < 4 * 8 * (16 + 16)
+
+    def test_reset_restores_empty_state(self):
+        window = _window()
+        window.record(0.1, False, key="bot", count=50)
+        window.reset()
+        assert window.counts(0.1) == (0, 0)
+        assert window.heavy_hitters(0.1) == []
+
+    def test_rejects_degenerate_parameters(self):
+        with pytest.raises(ValueError):
+            SketchWindow(0.0)
+        with pytest.raises(ValueError):
+            SketchWindow(1.0, epochs=0)
+
+    def test_params_sizing_matches_theory(self):
+        params = SketchParams(epsilon=0.02, delta=0.01)
+        assert params.width == 136  # ceil(e / 0.02)
+        assert params.depth == 5  # ceil(ln 100)
+        assert params.state_bytes() == 136 * 5 * 8
+        with pytest.raises(ValueError):
+            SketchParams(epsilon=0.0)
+        with pytest.raises(ValueError):
+            SketchParams(delta=1.5)
+        with pytest.raises(ValueError):
+            SketchParams(top_k=0)

@@ -161,6 +161,71 @@ class TestP1ImportLayering:
         )
         assert hits(tree, ["P1"]) == ["P1 metrics.py:3"]
 
+    def test_service_and_cloudsim_may_import_detect(self, tmp_path):
+        tree = build_tree(
+            tmp_path,
+            PKG
+            | {
+                "repro/detect/__init__.py": "",
+                "repro/detect/sketch.py": (
+                    "class CountMinSketch:\n    pass\n"
+                ),
+                "repro/service/__init__.py": "",
+                "repro/service/tokens.py": (
+                    "from repro.detect.sketch import CountMinSketch\n"
+                ),
+                "repro/cloudsim/replica.py": (
+                    "from repro.detect.sketch import CountMinSketch\n"
+                ),
+            },
+        )
+        assert hits(tree, ["P1"]) == []
+
+    def test_detect_importing_service_violates(self, tmp_path):
+        tree = build_tree(
+            tmp_path,
+            PKG
+            | {
+                "repro/detect/__init__.py": "",
+                "repro/service/__init__.py": "",
+                "repro/service/tokens.py": (
+                    "class TokenBucket:\n    pass\n"
+                ),
+                "repro/detect/sketch.py": (
+                    "from repro.service.tokens import TokenBucket\n"
+                ),
+            },
+        )
+        assert hits(tree, ["P1"]) == ["P1 sketch.py:1"]
+
+    def test_detect_external_budget_is_stdlib_plus_numpy(self, tmp_path):
+        tree = build_tree(
+            tmp_path,
+            PKG
+            | {
+                "repro/detect/__init__.py": "",
+                "repro/detect/sketch.py": (
+                    "import hashlib\nimport numpy as np\nimport scipy\n"
+                ),
+            },
+        )
+        assert hits(tree, ["P1"]) == ["P1 sketch.py:3"]
+
+    def test_detect_may_import_obs(self, tmp_path):
+        tree = build_tree(
+            tmp_path,
+            PKG
+            | {
+                "repro/obs/__init__.py": "",
+                "repro/obs/events.py": "class Event:\n    pass\n",
+                "repro/detect/__init__.py": "",
+                "repro/detect/report.py": (
+                    "from repro.obs.events import Event\n"
+                ),
+            },
+        )
+        assert hits(tree, ["P1"]) == []
+
 
 class TestP2RngProvenance:
     def test_seed_forwarding_helper_called_without_seed(self, tmp_path):

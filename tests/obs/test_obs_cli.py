@@ -9,7 +9,12 @@ import pytest
 
 from repro.core import ShuffleEngine
 from repro.obs import Event, EventLog, Instruments, export_jsonl
-from repro.obs.cli import diff_counts, main, summarize_events
+from repro.obs.cli import (
+    diff_counts,
+    heavy_hitter_tables,
+    main,
+    summarize_events,
+)
 
 
 def write_trace(tmp_path, name, events):
@@ -108,6 +113,71 @@ class TestTail:
         lines = capsys.readouterr().out.splitlines()
         assert len(lines) == 1
         assert "shuffle_started" in lines[0]
+
+
+def heavy_hitter_events():
+    """Two replicas reporting twice; only the latest report counts."""
+    payload = {
+        "window": 1.0, "total": 100, "throttled": 80,
+        "top": [["bot-1", 60, 0], ["c-9", 8, 3]],
+        "state_bytes": 22080,
+    }
+    stale = {
+        "window": 1.0, "total": 10, "throttled": 1,
+        "top": [["c-2", 4, 0]], "state_bytes": 22080,
+    }
+    return [
+        Event(time=1.0, kind="heavy_hitters",
+              data=dict(stale, replica="r-1"), source="service"),
+        Event(time=5.0, kind="heavy_hitters",
+              data=dict(payload, replica="r-1"), source="service"),
+        Event(time=3.0, kind="heavy_hitters",
+              data=dict(payload, replica="r-2", total=40),
+              source="service"),
+    ]
+
+
+class TestHeavyHitters:
+    def test_latest_report_per_replica(self):
+        tables = heavy_hitter_tables(heavy_hitter_events())
+        assert sorted(tables) == ["r-1", "r-2"]
+        assert tables["r-1"]["time"] == 5.0
+        assert tables["r-1"]["total"] == 100
+        assert tables["r-1"]["top"][0] == ["bot-1", 60, 0]
+        assert tables["r-2"]["total"] == 40
+
+    def test_other_kinds_are_ignored(self):
+        assert heavy_hitter_tables(sample_events()) == {}
+
+    def test_summarize_payload_includes_tables(self):
+        summary = summarize_events(heavy_hitter_events())
+        assert summary["heavy_hitters"]["r-1"]["throttled"] == 80
+
+    def test_table_rendering(self, tmp_path, capsys):
+        trace = write_trace(
+            tmp_path, "hh.jsonl", heavy_hitter_events()
+        )
+        assert main(["summarize", trace]) == 0
+        out = capsys.readouterr().out
+        assert "heavy hitters (latest report per replica)" in out
+        assert "replica r-1: 100 requests, 80 throttled" in out
+        assert "bot-1" in out
+        assert "count<=60" in out
+
+    def test_integer_replica_ids_render(self, tmp_path, capsys):
+        """Cloudsim traces carry integer replica ids; the table must
+        render them structurally like any other payload."""
+        event = Event(
+            time=2.0, kind="heavy_hitters",
+            data={"replica": 3, "total": 7, "throttled": 2,
+                  "top": [["naive-fleet", 7, 0]]},
+            source="cloudsim",
+        )
+        tables = heavy_hitter_tables([event])
+        assert tables["3"]["top"] == [["naive-fleet", 7, 0]]
+        trace = write_trace(tmp_path, "sim.jsonl", [event])
+        assert main(["summarize", trace]) == 0
+        assert "naive-fleet" in capsys.readouterr().out
 
 
 class TestSummarizeHelper:

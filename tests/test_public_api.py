@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.sim",
     "repro.cloudsim",
     "repro.analysis",
+    "repro.detect",
     "repro.obs",
     "repro.runtime",
     "repro.service",
