@@ -26,6 +26,10 @@ defense end to end:
 - ``repro.detect`` — sketch-based streaming detection: count-min and
   space-saving summaries behind fixed-memory saturation monitoring and
   per-replica heavy-hitter reports (see ``docs/detection.md``).
+- ``repro.trust`` — adaptive per-client trust profiles, the graduated
+  TRUSTED/WATCH/THROTTLED/DENIED admission ladder, a trust-weighted
+  estimator prior, and pluggable persistent state backends
+  (memory / sqlite / atomic JSON file; see ``docs/trust.md``).
 - ``repro.experiments`` — one driver per paper table/figure
   (``python -m repro.experiments <fig3|fig4|...|fig12|headline>``).
 
@@ -47,7 +51,7 @@ from __future__ import annotations
 # (repro.sim.backend), giving sweep()/run_campaign_batch() their
 # workers=/cache_dir= paths.  This is the one place the package wires
 # the runtime layer onto sim — sim itself never imports runtime.
-from . import detect, obs, runtime
+from . import detect, obs, runtime, trust
 from .core import (
     BotEstimate,
     PLANNERS,
@@ -96,4 +100,5 @@ __all__ = [
     "shuffle_trajectory",
     "single_replica_optimum",
     "survival_probability",
+    "trust",
 ]

@@ -227,6 +227,18 @@ class Coordinator:
             self.ctx.trace(
                 "heavy_hitters", **replica.heavy_hitter_report().to_dict()
             )
+        if self.ctx.trust is not None:
+            # And the trust ladder's view of each attacked cohort: how
+            # many of its whitelisted clients sit in which tier.
+            for replica in attacked:
+                cohort = sorted(replica.whitelist)
+                self.ctx.trace(
+                    "trust_snapshot",
+                    replica=replica.endpoint.address,
+                    clients=len(cohort),
+                    tiers=self.ctx.trust.tier_counts(cohort),
+                    mean_trust=self.ctx.trust.mean_trust(cohort),
+                )
 
         clients: list[tuple[str, object, ReplicaServer]] = []
         for replica in attacked:

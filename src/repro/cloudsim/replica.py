@@ -59,6 +59,7 @@ class ReplicaStats:
     requests_served: int = 0
     requests_dropped: int = 0
     requests_rejected: int = 0  # non-whitelisted
+    requests_gated: int = 0  # rejected by the trust tier ladder
     flood_packets: float = 0.0
     redirects_sent: int = 0
 
@@ -238,12 +239,31 @@ class ReplicaServer:
             self.traffic.record(self.ctx.now, admitted=False, key=client_id)
             on_done(False, 0.0)
             return
+        trust = self.ctx.trust
+        if trust is not None and trust.admit_decision(client_id) != "ok":
+            # Tier gate (mirrors the live service's backends): a policy
+            # rejection, not overload — no compute is spent, but the
+            # request still lands in the traffic window so a gated
+            # flood keeps registering as saturation, and the outcome
+            # is a non-violation observation (the gate itself must not
+            # spiral trust downward).
+            self.stats.requests_gated += 1
+            self.traffic.record(self.ctx.now, admitted=False, key=client_id)
+            trust.observe(client_id, self.ctx.now, violation=False)
+            on_done(False, 0.0)
+            return
         if self.ctx.rng.random() < self.drop_probability():
             self.stats.requests_dropped += 1
             self.traffic.record(self.ctx.now, admitted=False, key=client_id)
+            if trust is not None:
+                # An overload drop is the violation signal: the client
+                # (or its cohort) outran the replica's capacity.
+                trust.observe(client_id, self.ctx.now, violation=True)
             on_done(False, 0.0)
             return
         self.traffic.record(self.ctx.now, admitted=True, key=client_id)
+        if trust is not None:
+            trust.observe(client_id, self.ctx.now, violation=False)
         self.cpu_meter.add(self.ctx.now, work)
         base = work / self.cpu_capacity
         # Service slows as the CPU saturates (simple M/M/1-flavoured

@@ -18,6 +18,7 @@ from ..obs.events import EventLog
 from ..obs.instruments import Instruments
 from ..obs.metrics import MetricsRegistry
 from ..obs.spans import SpanRecorder
+from ..trust import TrustConfig, TrustManager
 from .botnet import Botnet
 from .clients import BenignClient, OnOffBot, PersistentBot
 from .coordinator import Coordinator
@@ -67,6 +68,10 @@ class CloudConfig:
     detect_delta: float = 0.01  # count-min failure probability
     detect_top_k: int = 8  # heavy-hitter summary capacity
     detect_epochs: int = 4  # window ring cells
+    # per-client trust profiles (repro.trust): graduated admission
+    # ladder mirrored from the live service; off by default so the
+    # historical simulation dynamics are untouched.
+    trust_enabled: bool = False
     # workload
     think_time: float = 2.0  # mean seconds between benign requests
     request_work: float = 1.0
@@ -105,6 +110,14 @@ class CloudContext:
         self.balancers: dict[str, LoadBalancer] = {}
         self.domain_balancers: dict[str, list[LoadBalancer]] = {}
         self._replicas: dict[str, ReplicaServer] = {}
+        #: shared trust ladder (sim-time clocked) when enabled; the
+        #: replicas gate whitelisted requests through it exactly like
+        #: the live service's backends.
+        self.trust: TrustManager | None = (
+            TrustManager(TrustConfig(seed=seed))
+            if config.trust_enabled
+            else None
+        )
         self.coordinator = Coordinator(self)
         self.metrics = MetricsCollector(self, config.metrics_interval)
         self.tracer = None
@@ -228,6 +241,9 @@ class RunReport:
     #: ``[key, count, error]`` rows (sketch-windowed, so only traffic
     #: still inside the detection window shows up).
     heavy_hitters: list = field(default_factory=list)
+    #: trust-tier census over every profiled client at run end
+    #: (``None`` when the trust ladder is disabled).
+    trust_tiers: dict | None = None
 
     def describe(self) -> str:
         return (
@@ -428,4 +444,7 @@ class CloudDefenseSystem:
             bots_colocated_benign=colocated,
             samples=list(metrics.samples),
             heavy_hitters=hitters,
+            trust_tiers=(
+                None if ctx.trust is None else ctx.trust.tier_counts()
+            ),
         )

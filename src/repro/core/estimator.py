@@ -125,7 +125,10 @@ def occupancy_likelihoods(
 
 
 def estimate_bots_mle(
-    n_attacked: int, n_replicas: int, upper_bound: int
+    n_attacked: int,
+    n_replicas: int,
+    upper_bound: int,
+    log_prior: np.ndarray | None = None,
 ) -> BotEstimate:
     """Exact occupancy MLE of the persistent-bot count (Section V).
 
@@ -134,6 +137,15 @@ def estimate_bots_mle(
         n_replicas: shuffling replica count ``P``.
         upper_bound: the largest admissible ``m`` — the paper uses the total
             number of clients assigned to attacked replicas.
+        log_prior: optional log-space prior over ``m`` (length at least
+            ``upper_bound + 1``, e.g. from :func:`repro.trust.prior.
+            bot_count_log_prior`); when given, the argmax runs over
+            ``log L(m) + log_prior[m]`` (a MAP estimate).  ``None``
+            leaves the historical pure-MLE path untouched.  The
+            degenerate all-attacked regime ignores the prior — the
+            likelihood carries no information there, and inventing an
+            estimate from the prior alone would hide the Theorem 1
+            fallback the callers rely on.
     """
     if not 0 <= n_attacked <= n_replicas:
         raise ValueError(
@@ -164,7 +176,21 @@ def estimate_bots_mle(
         )
     likelihoods = occupancy_likelihoods(n_attacked, n_replicas, upper_bound)
     # Only m >= X can produce X attacked replicas.
-    m_hat = n_attacked + int(np.argmax(likelihoods[n_attacked:]))
+    if log_prior is None:
+        m_hat = n_attacked + int(np.argmax(likelihoods[n_attacked:]))
+    else:
+        if log_prior.shape[0] < upper_bound + 1:
+            raise ValueError(
+                f"log_prior covers {log_prior.shape[0]} counts, "
+                f"need upper_bound + 1 = {upper_bound + 1}"
+            )
+        # log L + log prior; a zero likelihood becomes exactly -inf
+        # (never the argmax unless everything is impossible).
+        with np.errstate(divide="ignore"):
+            log_posterior = (
+                np.log(likelihoods) + log_prior[: upper_bound + 1]
+            )
+        m_hat = n_attacked + int(np.argmax(log_posterior[n_attacked:]))
     peak = float(likelihoods[m_hat])
     return BotEstimate(
         m_hat=m_hat,
@@ -265,6 +291,7 @@ def estimate_bots_weighted(
     sizes: Sequence[int] | np.ndarray,
     n_clients: int,
     candidates: int = 64,
+    log_prior: np.ndarray | None = None,
 ) -> BotEstimate:
     """MLE of the bot count for *non-uniform* group sizes.
 
@@ -279,6 +306,12 @@ def estimate_bots_weighted(
         sizes: planned group sizes ``x_1..x_P`` of the observed shuffle.
         n_clients: total clients ``N`` in the shuffle.
         candidates: grid density for the coarse search.
+        log_prior: optional log-space prior over ``m`` (length at least
+            ``n_clients + 1``); when given the grid search maximizes
+            ``log L(m) + log_prior[m]`` (MAP).  ``None`` keeps the
+            historical pure-MLE path bit-identical; the degenerate
+            all-nonempty-attacked regime ignores the prior (see
+            :func:`estimate_bots_mle`).
     """
     xs = np.asarray(sizes, dtype=np.int64)
     n_replicas = int(xs.size)
@@ -306,10 +339,23 @@ def estimate_bots_weighted(
             upper_bound=n_clients, degenerate=True,
         )
 
+    if log_prior is not None and log_prior.shape[0] < n_clients + 1:
+        raise ValueError(
+            f"log_prior covers {log_prior.shape[0]} counts, "
+            f"need n_clients + 1 = {n_clients + 1}"
+        )
+
     def log_likelihood(m: int) -> float:
         pmf = attacked_count_pmf(xs, n_clients, m)
         value = float(pmf[n_attacked])
         return math.log(value) if value > 0 else float("-inf")
+
+    def objective(m: int) -> float:
+        # MAP objective: log-likelihood plus the (log-space) prior.
+        value = log_likelihood(m)
+        if log_prior is not None:
+            value += float(log_prior[m])
+        return value
 
     lo, hi = n_attacked, n_clients
     grid = np.unique(
@@ -320,13 +366,13 @@ def estimate_bots_weighted(
     grid = grid[(grid >= lo) & (grid <= hi)]
     if grid.size == 0:
         grid = np.array([lo], dtype=np.int64)
-    coarse_best = max(grid, key=log_likelihood)
+    coarse_best = max(grid, key=objective)
     # Local refinement between the neighbouring grid points.
     position = int(np.searchsorted(grid, coarse_best))
     left = int(grid[position - 1]) if position > 0 else lo
     right = int(grid[position + 1]) if position + 1 < grid.size else hi
     window = range(max(lo, left), min(hi, right) + 1)
-    m_hat = max(window, key=log_likelihood)
+    m_hat = max(window, key=objective)
     return BotEstimate(
         m_hat=int(m_hat),
         n_attacked=n_attacked,

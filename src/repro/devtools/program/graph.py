@@ -4,7 +4,9 @@ The contract is the architecture in one table: ``obs`` is the shared
 observability substrate and sits below everything — stdlib only, not
 even numpy, so any layer may instrument itself without new coupling;
 ``core`` is the paper's math and may depend on nothing but the numeric
-stack (and ``obs``); ``sim`` and ``analysis`` build on ``core``;
+stack (plus ``obs`` and the ``trust`` leaf, whose log-prior feeds the
+estimators); ``detect`` and ``trust`` are embeddable leaves on a
+stdlib+numpy+obs budget; ``sim`` and ``analysis`` build on ``core``;
 ``cloudsim`` (the DES) may use ``core`` and ``sim``; ``runtime``
 (parallel grid execution) orchestrates ``core``, ``sim``, and
 ``cloudsim`` but is never imported by them — the sim layer reaches it
@@ -31,6 +33,7 @@ __all__ = [
     "CORE_EXTERNAL_ALLOWED",
     "DETECT_EXTERNAL_ALLOWED",
     "OBS_EXTERNAL_ALLOWED",
+    "TRUST_EXTERNAL_ALLOWED",
     "ImportEdge",
     "import_edges",
     "render_dot",
@@ -42,15 +45,18 @@ __all__ = [
 LAYER_CONTRACT: dict[str, frozenset[str]] = {
     "obs": frozenset(),
     "detect": frozenset({"obs"}),
-    "core": frozenset({"obs"}),
+    "trust": frozenset({"obs"}),
+    "core": frozenset({"obs", "trust"}),
     "sim": frozenset({"core", "obs"}),
     "analysis": frozenset({"core", "obs"}),
-    "cloudsim": frozenset({"core", "sim", "detect", "obs"}),
+    "cloudsim": frozenset({"core", "sim", "detect", "trust", "obs"}),
     "runtime": frozenset({"core", "sim", "cloudsim", "obs"}),
-    "service": frozenset({"core", "sim", "analysis", "detect", "obs"}),
+    "service": frozenset(
+        {"core", "sim", "analysis", "detect", "trust", "obs"}
+    ),
     "experiments": frozenset(
         {"core", "sim", "analysis", "cloudsim", "runtime", "service",
-         "devtools", "detect", "obs"}
+         "devtools", "detect", "trust", "obs"}
     ),
     "devtools": frozenset(),
 }
@@ -62,6 +68,11 @@ CORE_EXTERNAL_ALLOWED = frozenset({"numpy"})
 #: ``detect`` (streaming sketches) is a leaf like core: stdlib + numpy
 #: + obs, so both the live service and the simulators can embed it.
 DETECT_EXTERNAL_ALLOWED = frozenset({"numpy"})
+
+#: ``trust`` (per-client trust profiles + state backends) is a leaf on
+#: the same budget: stdlib + numpy + obs, embeddable from the live
+#: service, the simulators, and core's estimator prior alike.
+TRUST_EXTERNAL_ALLOWED = frozenset({"numpy"})
 
 #: ``obs`` must stay importable from *any* layer, including core, so it
 #: may not pull in anything beyond the stdlib — not even numpy.
@@ -138,10 +149,11 @@ def import_edges(program: ProgramContext) -> list[ImportEdge]:
 @project_rule(
     "P1",
     "import-layering",
-    "The package layering contract (obs -> stdlib only; detect -> "
-    "stdlib/numpy/obs; core -> stdlib/numpy/obs; sim/analysis -> core; "
-    "cloudsim -> core+sim+detect; runtime -> core+sim+cloudsim; "
-    "service -> core+sim+analysis+detect; experiments -> anything; "
+    "The package layering contract (obs -> stdlib only; detect/trust "
+    "-> stdlib/numpy/obs; core -> stdlib/numpy/obs/trust; sim/analysis "
+    "-> core; cloudsim -> core+sim+detect+trust; runtime -> "
+    "core+sim+cloudsim; service -> core+sim+analysis+detect+trust; "
+    "experiments -> anything; "
     "devtools isolated; every non-devtools layer may use obs) "
     "keeps the paper's math independently testable and the linter "
     "side-effect free; an import against the grain couples layers the "
@@ -182,6 +194,11 @@ def check_import_layering(
             DETECT_EXTERNAL_ALLOWED,
             "detect/ may only depend on the stdlib and numpy, not "
             "`{top}` — the sketches must embed anywhere",
+        ),
+        "trust": (
+            TRUST_EXTERNAL_ALLOWED,
+            "trust/ may only depend on the stdlib and numpy, not "
+            "`{top}` — the trust ladder must embed anywhere",
         ),
         "obs": (
             OBS_EXTERNAL_ALLOWED,

@@ -39,8 +39,9 @@ __all__ = ["analyze_rng", "RngFinding"]
 #: layers whose stochastic paths must stay bit-for-bit reproducible.
 #: ``service`` is stochastic-deterministic: its *timing* is wall-clock
 #: but its *decisions* (shuffle permutations, client jitter) must come
-#: from seeded generators.
-_REPORT_LAYERS = frozenset({"sim", "cloudsim", "service"})
+#: from seeded generators.  ``trust`` joins for the same reason: its
+#: per-client heal-jitter draws derive from the configured seed.
+_REPORT_LAYERS = frozenset({"sim", "cloudsim", "service", "trust"})
 _NUMPY_HEADS = frozenset({"np", "numpy"})
 
 

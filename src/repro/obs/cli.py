@@ -99,6 +99,37 @@ def heavy_hitter_tables(
     return dict(sorted(latest.items()))
 
 
+def trust_tables(
+    events: Sequence[Event],
+) -> dict[str, dict[str, object]]:
+    """Latest ``trust_snapshot`` per replica, rendered structurally
+    from the event payload (this layer never imports
+    :mod:`repro.trust`): replica -> cohort size, mean trust, and
+    clients-per-tier counts."""
+    latest: dict[str, dict[str, object]] = {}
+    for event in events:
+        if event.kind != "trust_snapshot":
+            continue
+        data = event.data
+        replica = str(data.get("replica", "?"))
+        previous = latest.get(replica)
+        if previous is not None and previous["time"] > event.time:
+            continue
+        tiers = data.get("tiers", {})
+        latest[replica] = {
+            "time": event.time,
+            "clients": int(data.get("clients", 0)),
+            "mean_trust": float(data.get("mean_trust", 0.0)),
+            "tiers": {
+                str(name): int(count)
+                for name, count in (
+                    tiers.items() if isinstance(tiers, dict) else ()
+                )
+            },
+        }
+    return dict(sorted(latest.items()))
+
+
 def summarize_events(events: Sequence[Event]) -> dict[str, object]:
     """The ``summarize`` payload (testable without the CLI)."""
     kinds: dict[str, int] = {}
@@ -135,6 +166,7 @@ def summarize_events(events: Sequence[Event]) -> dict[str, object]:
             for name, stats in sorted(span_stats.items())
         },
         "heavy_hitters": heavy_hitter_tables(events),
+        "trust_tiers": trust_tables(events),
     }
 
 
@@ -180,6 +212,21 @@ def _cmd_summarize(options: argparse.Namespace) -> int:
                     f"      {key:<20} count<={count} "
                     f"(>= {guaranteed})"
                 )
+    trust = summary["trust_tiers"]
+    assert isinstance(trust, dict)
+    if trust:
+        print("  trust tiers (latest snapshot per replica):")
+        for replica, table in trust.items():
+            tiers = ", ".join(
+                f"{name}={count}"
+                for name, count in table["tiers"].items()
+            )
+            print(
+                f"    replica {replica}: {table['clients']} clients, "
+                f"mean trust {table['mean_trust']:.3f} "
+                f"@t={table['time']:.3f}"
+            )
+            print(f"      {tiers}")
     return 0
 
 

@@ -29,6 +29,7 @@ from typing import Callable
 from ..detect import HeavyHitterReport, SketchParams
 from ..obs.instruments import Instruments
 from ..obs.metrics import Counter
+from ..trust import TrustManager
 from .config import ServiceConfig
 from .tokens import SaturationMonitor, SketchSaturationMonitor, TokenBucket
 
@@ -68,6 +69,16 @@ class ReplicaBackend:
             outcomes land in ``service_token_bucket_requests_total``
             (the counter is bound once here so the request hot path pays
             a single ``is not None`` check).
+        trust: optional shared :class:`repro.trust.TrustManager`; when
+            given, whitelisted requests pass the graduated tier gate
+            *between* the whitelist check and the token bucket —
+            DENIED-tier clients get the DENY verdict, THROTTLED-tier
+            clients get THROTTLED for all but one in
+            ``throttle_every`` requests, and neither spends bucket
+            tokens.  Gated rejections still land in the saturation
+            monitor: the flood *is* the detection signal, and a
+            policy-starved bot must keep looking like an attack so
+            the shuffle loop can corner it.
     """
 
     def __init__(
@@ -76,10 +87,12 @@ class ReplicaBackend:
         replica_id: str,
         clock: Callable[[], float] = time.monotonic,
         instruments: Instruments | None = None,
+        trust: TrustManager | None = None,
     ) -> None:
         self.config = config
         self.replica_id = replica_id
         self.instruments = instruments
+        self.trust = trust
         self._requests_total: Counter | None = (
             None
             if instruments is None
@@ -239,14 +252,37 @@ class ReplicaBackend:
             self.stats.denied += 1
             self._count("denied")
             return f"DENY {seq}"
+        trust = self.trust
+        if trust is not None:
+            decision = trust.admit_decision(client_id)
+            if decision != "ok":
+                # Tier gate: a policy rejection, not capacity
+                # exhaustion — no bucket token is spent, but the
+                # request still counts into the saturation window so
+                # a gated flood keeps raising the attacked signal.
+                self.monitor.record(admitted=False, client_id=client_id)
+                trust.observe(client_id, self._clock(), violation=False)
+                if decision == "deny":
+                    self.stats.denied += 1
+                    self._count("trust_denied")
+                    return f"DENY {seq}"
+                self.stats.throttled += 1
+                self._count("trust_throttled")
+                return f"THROTTLED {seq}"
         if self.bucket.try_acquire():
             self.monitor.record(admitted=True, client_id=client_id)
             self.stats.served += 1
             self._count("served")
+            if trust is not None:
+                trust.observe(client_id, self._clock(), violation=False)
             return f"OK {seq} {self.replica_id}"
         self.monitor.record(admitted=False, client_id=client_id)
         self.stats.throttled += 1
         self._count("throttled")
+        if trust is not None:
+            # A drained bucket is a violation signal: the client (or
+            # its cohort) outran the replica's capacity.
+            trust.observe(client_id, self._clock(), violation=True)
         return f"THROTTLED {seq}"
 
     def _count(self, outcome: str) -> None:
@@ -311,4 +347,8 @@ class ReplicaBackend:
         if report is not None:
             snap["detector"] = "sketch"
             snap["heavy_hitters"] = [h.to_list() for h in report.top]
+        if self.trust is not None:
+            snap["trust_tiers"] = self.trust.tier_counts(
+                sorted(self.whitelist)
+            )
         return snap

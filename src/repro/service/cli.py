@@ -78,6 +78,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="serve live metrics while the scenario runs "
         "(Prometheus text at /metrics, JSON snapshot elsewhere)",
     )
+    _trust_args(scenario)
     scenario.add_argument(
         "--json", metavar="FILE",
         help="write the full scenario report as JSON",
@@ -118,7 +119,28 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=ServiceConfig.seed,
         help="service-side RNG seed",
     )
+    _trust_args(serve)
     return parser
+
+
+def _trust_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--trust", action="store_true",
+        help="enable per-client trust profiles and the graduated "
+        "TRUSTED/WATCH/THROTTLED/DENIED admission ladder",
+    )
+    parser.add_argument(
+        "--trust-prior-strength", type=float,
+        default=ServiceConfig.trust_prior_strength,
+        help="weight of the trust-derived estimator prior "
+        "(0 disables the prior; default: %(default)s)",
+    )
+    parser.add_argument(
+        "--state-backend", default=ServiceConfig.state_backend,
+        help="bindings/profiles/belief persistence: 'memory', "
+        "'sqlite:PATH', or 'file:PATH' — persistent backends survive "
+        "a coordinator kill-and-restart (default: %(default)s)",
+    )
 
 
 def _population_args(parser: argparse.ArgumentParser) -> None:
@@ -141,6 +163,9 @@ def _cmd_scenario(options: argparse.Namespace) -> int:
         n_replicas=options.replicas, seed=options.seed,
         telemetry_port=options.telemetry_port,
         detector=options.detector,
+        trust_enabled=options.trust,
+        trust_prior_strength=options.trust_prior_strength,
+        state_backend=options.state_backend,
     )
     load_config = LoadConfig(
         n_benign=options.clients, n_bots=options.bots,
@@ -163,6 +188,21 @@ def _cmd_scenario(options: argparse.Namespace) -> int:
     print(f"  benign clean fraction: {report.benign_clean_fraction:.3f}")
     print(f"  bot replicas: {', '.join(report.bot_replicas) or '-'}")
     print(f"  duration: {report.duration:.1f}s")
+    trust = report.snapshot.get("trust")
+    if trust is not None:
+        tiers = ", ".join(
+            f"{name}={count}" for name, count in trust["tiers"].items()
+        )
+        print(
+            f"  trust: {trust['population']} profiles, "
+            f"mean {trust['mean_trust']:.3f} ({tiers})"
+        )
+    if report.snapshot.get("restored"):
+        print(
+            "  restored from state backend "
+            f"({report.snapshot.get('restored_shuffles', 0)} prior "
+            "shuffles credited)"
+        )
     if options.json:
         with open(options.json, "w", encoding="utf-8") as handle:
             json.dump(report.to_dict(), handle, indent=2)
@@ -199,8 +239,12 @@ async def _serve_forever(options: argparse.Namespace) -> int:
         control_port=options.port,
         telemetry_port=options.telemetry_port,
         seed=options.seed,
+        trust_enabled=options.trust,
+        trust_prior_strength=options.trust_prior_strength,
+        state_backend=options.state_backend,
     )
     instruments = Instruments.create(source="service")
+    # event-loop-safe: one-time construction before any load exists
     coordinator = ServiceCoordinator(config, instruments=instruments)
     await coordinator.start()
     telemetry = TelemetryServer(

@@ -62,7 +62,20 @@ class ServiceConfig:
         sketch_top_k: heavy-hitter summary capacity per replica.
         sketch_epochs: ring cells per saturation window (temporal
             resolution of the sketch window is ``window / epochs``).
-        seed: RNG seed for the coordinator's shuffle permutations.
+        trust_enabled: enable per-client trust profiles and the
+            graduated TRUSTED→WATCH→THROTTLED→DENIED admission ladder
+            (:mod:`repro.trust`).  Off by default: the disabled path
+            is byte-identical to the pre-trust service.
+        trust_prior_strength: weight of the trust-derived log-prior
+            handed to the attack-scale estimators (0 disables the
+            prior even with trust enabled).
+        state_backend: persistence spec for bindings + profiles +
+            belief — ``"memory"`` (default, process-local),
+            ``"sqlite:PATH"`` or ``"file:PATH"`` (survive a
+            coordinator kill-and-restart; see ``docs/trust.md``).
+        seed: RNG seed for the coordinator's shuffle permutations
+            (also the base seed of the trust layer's per-client heal
+            jitter).
     """
 
     host: str = "127.0.0.1"
@@ -84,6 +97,9 @@ class ServiceConfig:
     sketch_delta: float = 0.01
     sketch_top_k: int = 8
     sketch_epochs: int = 4
+    trust_enabled: bool = False
+    trust_prior_strength: float = 1.0
+    state_backend: str = "memory"
     seed: int = DEFAULT_SEED
 
     def __post_init__(self) -> None:
@@ -109,3 +125,13 @@ class ServiceConfig:
             raise ValueError("sketch_top_k must be >= 1")
         if self.sketch_epochs < 1:
             raise ValueError("sketch_epochs must be >= 1")
+        if self.trust_prior_strength < 0:
+            raise ValueError("trust_prior_strength must be >= 0")
+        kind = self.state_backend.partition(":")[0]
+        if kind not in ("memory", "sqlite", "file") or (
+            kind != "memory" and not self.state_backend.partition(":")[2]
+        ):
+            raise ValueError(
+                "state_backend must be 'memory', 'sqlite:PATH', or "
+                f"'file:PATH' (got {self.state_backend!r})"
+            )

@@ -44,7 +44,7 @@ import math
 import time
 from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Callable
+from typing import Callable, Sequence
 
 import numpy as np
 
@@ -55,7 +55,9 @@ from ..core.estimator import (
 )
 from ..core.plan import ShufflePlan
 from ..core.plan_cache import PlanCache
+from ..obs.events import Event
 from ..obs.instruments import Instruments, resolve_instruments
+from ..trust import TrustConfig, TrustManager, bot_count_log_prior, make_backend
 from .backend import ReplicaBackend
 from .config import ServiceConfig
 from .pool import ReplicaPool
@@ -140,8 +142,27 @@ class ServiceCoordinator:
         self.max_shuffles = max_shuffles
         self._clock = clock
         self.instruments = resolve_instruments(instruments)
+        #: pluggable persistence behind bindings + profiles + belief;
+        #: the memory backend keeps the historical in-process-only
+        #: behaviour, sqlite/file survive a coordinator kill.
+        self.state = make_backend(config.state_backend)
+        self.trust: TrustManager | None = (
+            TrustManager(
+                TrustConfig(
+                    seed=config.seed,
+                    prior_strength=config.trust_prior_strength,
+                ),
+                storage=self.state,
+                instruments=self.instruments,
+            )
+            if config.trust_enabled
+            else None
+        )
         self.pool = ReplicaPool(
-            config, clock=clock, instruments=self.instruments
+            config,
+            clock=clock,
+            instruments=self.instruments,
+            trust=self.trust,
         )
         self.plan_cache = PlanCache(
             n_replicas=config.n_replicas,
@@ -166,6 +187,13 @@ class ServiceCoordinator:
         self._pending_attacked: set[str] = set()
         self._pending_sweeps = 0
         self._last_plan: _LastPlan | None = None
+        #: shuffle rounds credited from a previous incarnation (state
+        #: restored from a persistent backend); counted into
+        #: :attr:`shuffles_completed` so the budget spans the restart.
+        self._restored_shuffles = 0
+        self.restored = False
+        self._dirty_bindings: set[str] = set()
+        self._belief_dirty = False
         self._shuffle_in_progress = False
         self._running = False
         self._detect_task: asyncio.Task | None = None
@@ -184,6 +212,7 @@ class ServiceCoordinator:
             None, self.plan_cache.precompute
         )
         await self.pool.start()
+        await self._restore_state()
         self._control = await asyncio.start_server(
             self._handle_control, self.config.host, self.config.control_port
         )
@@ -229,6 +258,9 @@ class ServiceCoordinator:
             await self._control.wait_closed()
             self._control = None
         await self.pool.stop()
+        # event-loop-safe: final flush at shutdown, nothing left to stall
+        self._persist_state()
+        self.state.close()
 
     @property
     def control_address(self) -> tuple[str, int]:
@@ -238,7 +270,10 @@ class ServiceCoordinator:
 
     @property
     def shuffles_completed(self) -> int:
-        return len(self.shuffles)
+        """Rounds executed, *including* rounds a restored predecessor
+        ran against the same state backend — the shuffle budget is a
+        property of the scenario, not of one process incarnation."""
+        return len(self.shuffles) + self._restored_shuffles
 
     #: Consecutive calm detection sweeps (no actionable attack) before
     #: a non-empty quarantine counts as converged.
@@ -296,7 +331,116 @@ class ServiceCoordinator:
         # await, so the single-threaded loop cannot interleave them.
         # reprolint: disable=P9
         self.assignments[client_id] = backend.replica_id
+        # Same single-op argument as the assignment write above.
+        # reprolint: disable=P9
+        self._dirty_bindings.add(client_id)
         return backend
+
+    # ------------------------------------------------------------------
+    # state persistence (bindings + belief + trust profiles)
+    # ------------------------------------------------------------------
+    def _belief_document(self) -> dict[str, object]:
+        return {
+            "believed_bots": self.believed_bots,
+            "shuffles_completed": self.shuffles_completed,
+            "suspected_bots": sorted(self.suspected_bots),
+            "quarantine_replicas": sorted(self.quarantine_replicas),
+        }
+
+    def _persist_state(self) -> None:
+        """Flush dirty bindings, trust rows, and the belief document.
+
+        Batched: one ``put_many`` per dirty namespace, called at most
+        once per detection sweep, so the write volume is bounded by
+        the population (and usually far below it).
+        """
+        if self._dirty_bindings:
+            self.state.put_many(
+                "bindings",
+                [
+                    (client_id, {"replica": self.assignments[client_id]})
+                    for client_id in sorted(self._dirty_bindings)
+                    if client_id in self.assignments
+                ],
+            )
+            self._dirty_bindings.clear()
+            self._belief_dirty = True
+        if self.trust is not None:
+            self.trust.persist()
+        if self._belief_dirty:
+            self.state.put("state", "belief", self._belief_document())
+            self._belief_dirty = False
+        self.state.flush()
+
+    async def _restore_state(self) -> None:
+        """Resume from a persistent backend's bindings/profiles/belief.
+
+        Restored clients regroup onto the fresh pool: each old
+        replica's cohort stays together — quarantined cohorts get a
+        fresh replica that re-enters the quarantine set immediately,
+        everyone else maps round-robin onto the base pool — so the
+        separation the previous incarnation *paid shuffle rounds for*
+        survives the restart instead of being re-learned.  The
+        previous plan is not restored, so the first post-restart
+        estimate falls back to the uniform-occupancy MLE.
+        """
+        if self.trust is not None:
+            self.trust.restore()
+        belief = self.state.get("state", "belief")
+        if belief is not None:
+            raw = belief.get("believed_bots")
+            self.believed_bots = None if raw is None else int(raw)
+            self._restored_shuffles = int(
+                belief.get("shuffles_completed", 0)
+            )
+            # Startup-only write: runs in start(), before the detect
+            # loop (the only other writer) is even created.
+            # reprolint: disable=P9
+            self.suspected_bots = {
+                str(s) for s in belief.get("suspected_bots", [])
+            }
+        bindings = self.state.items("bindings")
+        if not bindings:
+            self.restored = belief is not None
+            return
+        self.restored = True
+        old_quarantine = (
+            {str(r) for r in belief.get("quarantine_replicas", [])}
+            if belief is not None
+            else set()
+        )
+        groups: dict[str, list[str]] = {}
+        for client_id, doc in bindings:
+            groups.setdefault(str(doc.get("replica", "")), []).append(
+                client_id
+            )
+        base = self.pool.active()
+        cursor = 0
+        for old_id in sorted(groups):
+            if old_id in old_quarantine:
+                backend = await self.pool.spawn()
+                # Startup-only write (see suspected_bots above).
+                # reprolint: disable=P9
+                self.quarantine_replicas.add(backend.replica_id)
+            else:
+                backend = base[cursor % len(base)]
+                cursor += 1
+            for client_id in groups[old_id]:
+                backend.admit(client_id)
+                self.assignments[client_id] = backend.replica_id
+                self._dirty_bindings.add(client_id)
+        self._belief_dirty = True
+        # event-loop-safe: one-time startup write before serving begins
+        self._persist_state()
+
+    def _maybe_persist(self) -> None:
+        """Write back state if anything changed since the last sweep."""
+        if (
+            self._dirty_bindings
+            or self._belief_dirty
+            or (self.trust is not None and self.trust.dirty)
+        ):
+            self._persist_state()
 
     async def _handle_control(
         self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
@@ -343,6 +487,8 @@ class ServiceCoordinator:
                 ).inc()
             if self._shuffle_in_progress:
                 continue
+            # event-loop-safe: bounded batch write, at most once a sweep
+            self._maybe_persist()
             # Quarantined replicas are expected to stay flooded — only
             # attacks outside the quarantine set are actionable.
             attacked_now = {
@@ -358,10 +504,17 @@ class ServiceCoordinator:
             # union for a few sweeps so one shuffle (and one estimator
             # observation X) covers the whole co-saturating set.
             self._pending_attacked |= attacked_now
-            self._collect_reports(attacked_now)
             self._pending_sweeps += 1
             if self._pending_sweeps <= self.config.detection_confirmations:
                 continue
+            # Evidence collection fires once per confirmation window,
+            # keyed on the sweep *count* rather than each sweep's
+            # wall-clock arrival: the report content is a property of
+            # the confirmed attacked set, and sampling it exactly once
+            # removes a scheduling-dependent source of run-to-run
+            # variance (how many sweeps a window spanned used to decide
+            # how many report events landed in the audit trail).
+            self._collect_reports(self._pending_attacked)
             targets = [
                 backend
                 for replica_id in sorted(self._pending_attacked)
@@ -398,6 +551,19 @@ class ServiceCoordinator:
             backend = self.pool.get(replica_id)
             if backend is None or not backend.is_active:
                 continue
+            if obs is not None and self.trust is not None:
+                cohort = sorted(backend.whitelist)
+                obs.events.append(Event(
+                    time=self._clock(),
+                    kind="trust_snapshot",
+                    data={
+                        "replica": replica_id,
+                        "clients": len(cohort),
+                        "tiers": self.trust.tier_counts(cohort),
+                        "mean_trust": self.trust.mean_trust(cohort),
+                    },
+                    source="service",
+                ))
             report = backend.heavy_hitter_report()
             if report is None:  # exact detector: no attribution
                 continue
@@ -406,6 +572,16 @@ class ServiceCoordinator:
             self.suspected_bots.update(
                 report.suspects(self.SUSPECT_MIN_SHARE)
             )
+        if obs is not None and self.trust is not None:
+            gauge = obs.registry.gauge(
+                "service_trust_tier_clients",
+                "Whitelisted clients per trust tier (all replicas).",
+                ("tier",),
+            )
+            for tier, count in self.trust.tier_counts(
+                sorted(self.assignments)
+            ).items():
+                gauge.set(float(count), tier=tier)
         if obs is not None and self.suspected_bots:
             obs.registry.gauge(
                 "service_suspected_bots",
@@ -415,8 +591,34 @@ class ServiceCoordinator:
     # ------------------------------------------------------------------
     # estimation
     # ------------------------------------------------------------------
+    def _trust_prior(
+        self, clients: Sequence[str], upper: int
+    ) -> np.ndarray | None:
+        """Trust-derived log-prior over bot counts, or ``None``.
+
+        The expected bot count under the trust model is the subset's
+        low-trust mass ``sum(1 - trust)``; the prior pulls the MAP
+        estimate toward it without overriding the occupancy evidence.
+        With trust disabled (or strength 0) this returns ``None`` and
+        the estimators run their historical pure-likelihood path —
+        bit-identical to the pre-trust service.
+        """
+        if self.trust is None:
+            return None
+        strength = self.config.trust_prior_strength
+        if strength <= 0:
+            return None
+        return bot_count_log_prior(
+            upper=upper,
+            expected=self.trust.low_trust_mass(clients),
+            strength=strength,
+        )
+
     def _estimate(
-        self, attacked_ids: tuple[str, ...], n_clients: int
+        self,
+        attacked_ids: tuple[str, ...],
+        n_clients: int,
+        clients: Sequence[str] = (),
     ) -> tuple[int, str]:
         """Believed bot count from the observed attack pattern."""
         n_attacked = len(attacked_ids)
@@ -428,13 +630,18 @@ class ServiceCoordinator:
                 n_attacked=n_attacked,
                 sizes=last.plan.group_sizes,
                 n_clients=last.plan.n_clients,
+                log_prior=self._trust_prior(
+                    clients, last.plan.n_clients
+                ),
             )
             name = "weighted"
         else:
+            upper = max(n_clients, n_attacked)
             estimate = estimate_bots_mle(
                 n_attacked=n_attacked,
                 n_replicas=max(self.pool.n_active, 1),
-                upper_bound=max(n_clients, n_attacked),
+                upper_bound=upper,
+                log_prior=self._trust_prior(clients, upper),
             )
             name = "mle"
         m_hat = self._resolve(estimate)
@@ -521,7 +728,9 @@ class ServiceCoordinator:
             spans.span("estimate") if spans is not None else nullcontext()
         ) as span:
             # event-loop-safe: closed-form estimators, sub-ms at pool scale
-            believed, estimator = self._estimate(attacked_ids, n_clients)
+            believed, estimator = self._estimate(
+                attacked_ids, n_clients, clients
+            )
             if span is not None:
                 span.set(believed=believed, estimator=estimator)
 
@@ -544,6 +753,7 @@ class ServiceCoordinator:
                     b.replica_id for b in replacements
                 ),
             ))
+            self._belief_dirty = True
             return
 
         # Plan across the full shuffle width, not just the attacked
@@ -593,10 +803,12 @@ class ServiceCoordinator:
                 and demonstrated > self.believed_bots
             ):
                 self.believed_bots = demonstrated
+                self._belief_dirty = True
                 return
             # Quarantine the replicas — leave the bots flooding
             # them — and keep watching the rest.
             self.quarantine_replicas.update(attacked_ids)
+            self._belief_dirty = True
             return
 
         with (
@@ -614,6 +826,7 @@ class ServiceCoordinator:
                     cursor += 1
                     backend.admit(client_id)
                     self.assignments[client_id] = backend.replica_id
+                    self._dirty_bindings.add(client_id)
             assert cursor == n_clients, "plan sizes must cover every client"
         # Old instances close only after every client is rebound, so
         # a MOVED straggler always finds its new home via WHERE.
@@ -634,6 +847,7 @@ class ServiceCoordinator:
             algorithm=plan.algorithm,
         )
         self.shuffles.append(record)
+        self._belief_dirty = True
         self._last_plan = _LastPlan(
             plan=plan, replica_ids=record.new_replicas
         )
@@ -657,6 +871,12 @@ class ServiceCoordinator:
             "budget_exhausted": self.budget_exhausted,
             "believed_bots": self.believed_bots,
             "detector": self.config.detector,
+            "state_backend": self.config.state_backend,
+            "restored": self.restored,
+            "restored_shuffles": self._restored_shuffles,
+            "trust": (
+                None if self.trust is None else self.trust.snapshot()
+            ),
             "suspected_bots": sorted(self.suspected_bots),
             "quarantined": self.quarantined,
             "quarantine_replicas": sorted(self.quarantine_replicas),

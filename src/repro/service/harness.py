@@ -37,6 +37,11 @@ class ScenarioReport:
         benign_clean_fraction: benign clients whose final replica hosts
             no bot, over all benign clients.
         bot_replicas: replica IDs hosting at least one bot at the end.
+        restored: the coordinator resumed from a persistent state
+            backend (its ``shuffles_completed`` then includes rounds a
+            predecessor process already ran).
+        trust: trust-layer summary (population, tier counts, mean
+            trust) when trust was enabled, else ``None``.
         windows: benign QoS timeline in the shared sim/live schema.
         snapshot: final coordinator state dump.
     """
@@ -50,6 +55,8 @@ class ScenarioReport:
     duration: float
     bot_served: int
     bot_throttled: int
+    restored: bool = False
+    trust: dict | None = None
     windows: list[QoSWindow] = field(default_factory=list)
     snapshot: dict = field(default_factory=dict)
 
@@ -64,6 +71,8 @@ class ScenarioReport:
             "duration": self.duration,
             "bot_served": self.bot_served,
             "bot_throttled": self.bot_throttled,
+            "restored": self.restored,
+            "trust": self.trust,
             "windows": windows_to_dicts(self.windows),
             "snapshot": self.snapshot,
         }
@@ -117,6 +126,7 @@ async def run_scenario(
     )
     if instruments is None and service_config.telemetry_port is not None:
         instruments = Instruments.create(source="service")
+    # event-loop-safe: one-time construction before any load exists
     coordinator = ServiceCoordinator(
         service_config, max_shuffles=budget, instruments=instruments
     )
@@ -162,6 +172,11 @@ async def run_scenario(
             duration=elapsed,
             bot_served=load.bot_served,
             bot_throttled=load.bot_throttled,
+            restored=coordinator.restored,
+            trust=(
+                None if coordinator.trust is None
+                else coordinator.trust.snapshot()
+            ),
             windows=windows,
             snapshot=coordinator.snapshot(),
         )

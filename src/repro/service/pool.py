@@ -16,6 +16,7 @@ import time
 from typing import Callable
 
 from ..obs.instruments import Instruments
+from ..trust import TrustManager
 from .backend import ReplicaBackend
 from .config import ServiceConfig
 
@@ -36,10 +37,12 @@ class ReplicaPool:
         config: ServiceConfig,
         clock: Callable[[], float] = time.monotonic,
         instruments: Instruments | None = None,
+        trust: TrustManager | None = None,
     ) -> None:
         self.config = config
         self._clock = clock
         self.instruments = instruments
+        self.trust = trust
         self._counter = 0
         self.backends: dict[str, ReplicaBackend] = {}
         self.retired: dict[str, ReplicaBackend] = {}
@@ -61,6 +64,7 @@ class ReplicaPool:
             replica_id,
             clock=self._clock,
             instruments=self.instruments,
+            trust=self.trust,
         )
         await backend.start(port=0)
         async with self._lock:

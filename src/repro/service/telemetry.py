@@ -3,11 +3,15 @@
 A deliberately tiny HTTP/1.0 endpoint — enough to watch a live run
 converge without attaching a debugger:
 
-- any path but ``/metrics`` (e.g. ``curl http://host:port/``) serves the
-  coordinator's :meth:`snapshot` as JSON (the historical behaviour);
+- any path but ``/metrics``/``/trust`` (e.g. ``curl
+  http://host:port/``) serves the coordinator's :meth:`snapshot` as
+  JSON (the historical behaviour);
 - ``GET /metrics`` serves the attached :class:`repro.obs.
   MetricsRegistry` in Prometheus text exposition format, so a stock
-  Prometheus scraper can watch shuffle rounds and token buckets live.
+  Prometheus scraper can watch shuffle rounds and token buckets live;
+- ``GET /trust`` serves just the snapshot's ``trust`` summary (tier
+  populations + mean trust), ``null`` when trust is disabled — a
+  cheap poll target for watching the ladder settle.
 
 The file-export helpers that used to live here are deprecated shims
 over :func:`repro.obs.export_json` — one writer for the whole repo.
@@ -88,6 +92,11 @@ class TelemetryServer:
             if path == "/metrics" and self.registry is not None:
                 body = render_prometheus(self.registry).encode("utf-8")
                 content_type = PROMETHEUS_CONTENT_TYPE
+            elif path == "/trust":
+                body = json.dumps(
+                    self._snapshot().get("trust")
+                ).encode("utf-8")
+                content_type = "application/json"
             else:
                 body = json.dumps(self._snapshot()).encode("utf-8")
                 content_type = "application/json"

@@ -227,6 +227,81 @@ class TestP1ImportLayering:
         assert hits(tree, ["P1"]) == []
 
 
+class TestP1TrustLayer:
+    """The trust layer is a leaf beside detect: obs-only imports in,
+    core/cloudsim/service/experiments allowed to depend on it."""
+
+    TRUST_PKG = PKG | {
+        "repro/obs/__init__.py": "",
+        "repro/obs/events.py": "class Event:\n    pass\n",
+        "repro/trust/__init__.py": "",
+    }
+
+    def test_trust_may_import_obs_only(self, tmp_path):
+        tree = build_tree(
+            tmp_path,
+            self.TRUST_PKG
+            | {
+                "repro/trust/manager.py": (
+                    "from repro.obs.events import Event\n"
+                ),
+            },
+        )
+        assert hits(tree, ["P1"]) == []
+
+    def test_trust_importing_service_violates(self, tmp_path):
+        tree = build_tree(
+            tmp_path,
+            self.TRUST_PKG
+            | {
+                "repro/service/__init__.py": "",
+                "repro/service/tokens.py": (
+                    "class TokenBucket:\n    pass\n"
+                ),
+                "repro/trust/manager.py": (
+                    "from repro.service.tokens import TokenBucket\n"
+                ),
+            },
+        )
+        assert hits(tree, ["P1"]) == ["P1 manager.py:1"]
+
+    def test_consumers_may_import_trust(self, tmp_path):
+        tree = build_tree(
+            tmp_path,
+            self.TRUST_PKG
+            | {
+                "repro/service/__init__.py": "",
+                "repro/trust/prior.py": (
+                    "def bot_count_log_prior(n):\n    return n\n"
+                ),
+                # core's dependency is the prior bridge to its
+                # estimators; cloudsim/service embed the whole ladder.
+                "repro/core/estimator.py": (
+                    "from repro.trust.prior import bot_count_log_prior\n"
+                ),
+                "repro/cloudsim/replica.py": (
+                    "from repro.trust.prior import bot_count_log_prior\n"
+                ),
+                "repro/service/backend.py": (
+                    "from repro.trust.prior import bot_count_log_prior\n"
+                ),
+            },
+        )
+        assert hits(tree, ["P1"]) == []
+
+    def test_trust_external_budget_is_stdlib_plus_numpy(self, tmp_path):
+        tree = build_tree(
+            tmp_path,
+            self.TRUST_PKG
+            | {
+                "repro/trust/profile.py": (
+                    "import hashlib\nimport numpy as np\nimport scipy\n"
+                ),
+            },
+        )
+        assert hits(tree, ["P1"]) == ["P1 profile.py:3"]
+
+
 class TestP2RngProvenance:
     def test_seed_forwarding_helper_called_without_seed(self, tmp_path):
         tree = build_tree(
@@ -295,6 +370,33 @@ class TestP2RngProvenance:
         )
         found = hits(tree, ["P2"])
         assert len(found) == 1 and found[0].startswith("P2 state.py:6")
+
+    def test_trust_layer_is_reproducibility_critical(self, tmp_path):
+        """The trust layer's heal-jitter draws join P2's report set:
+        an unseeded construction path entering via ``trust`` is
+        flagged, while the seeded SeedSequence idiom stays clean."""
+        tree = build_tree(
+            tmp_path,
+            PKG
+            | {
+                "repro/trust/__init__.py": "",
+                "repro/trust/profile.py": """\
+                import numpy as np
+
+                def make_rng(seed=None):
+                    return np.random.default_rng(seed)
+
+                def jitter():
+                    return make_rng().uniform(-1.0, 1.0)
+
+                def seeded_jitter(seed: int, digest: int):
+                    seq = np.random.SeedSequence([seed, digest])
+                    return np.random.default_rng(seq).uniform(-1.0, 1.0)
+                """,
+            },
+        )
+        found = hits(tree, ["P2"])
+        assert found == ["P2 profile.py:7"], found
 
     def test_literal_no_arg_call_is_left_to_r1(self, tmp_path):
         tree = build_tree(

@@ -14,6 +14,7 @@ from repro.obs.cli import (
     heavy_hitter_tables,
     main,
     summarize_events,
+    trust_tables,
 )
 
 
@@ -178,6 +179,63 @@ class TestHeavyHitters:
         trace = write_trace(tmp_path, "sim.jsonl", [event])
         assert main(["summarize", trace]) == 0
         assert "naive-fleet" in capsys.readouterr().out
+
+
+def trust_snapshot_events():
+    """Two replicas; r-1 reports twice, only the later snapshot counts."""
+    return [
+        Event(time=1.0, kind="trust_snapshot",
+              data={"replica": "r-1", "clients": 20, "mean_trust": 0.61,
+                    "tiers": {"TRUSTED": 0, "WATCH": 20,
+                              "THROTTLED": 0, "DENIED": 0}},
+              source="service"),
+        Event(time=6.0, kind="trust_snapshot",
+              data={"replica": "r-1", "clients": 22, "mean_trust": 0.48,
+                    "tiers": {"TRUSTED": 4, "WATCH": 12,
+                              "THROTTLED": 4, "DENIED": 2}},
+              source="service"),
+        Event(time=3.0, kind="trust_snapshot",
+              data={"replica": "r-2", "clients": 18, "mean_trust": 0.75,
+                    "tiers": {"TRUSTED": 10, "WATCH": 8,
+                              "THROTTLED": 0, "DENIED": 0}},
+              source="service"),
+    ]
+
+
+class TestTrustTiers:
+    def test_latest_snapshot_per_replica(self):
+        tables = trust_tables(trust_snapshot_events())
+        assert sorted(tables) == ["r-1", "r-2"]
+        assert tables["r-1"]["time"] == 6.0
+        assert tables["r-1"]["clients"] == 22
+        assert tables["r-1"]["tiers"]["DENIED"] == 2
+        assert tables["r-2"]["mean_trust"] == 0.75
+
+    def test_other_kinds_are_ignored(self):
+        assert trust_tables(sample_events()) == {}
+
+    def test_summarize_payload_includes_tables(self):
+        summary = summarize_events(trust_snapshot_events())
+        assert summary["trust_tiers"]["r-1"]["tiers"]["THROTTLED"] == 4
+
+    def test_table_rendering(self, tmp_path, capsys):
+        """The payload renders structurally — this layer never imports
+        repro.trust, the event carries everything it needs."""
+        trace = write_trace(
+            tmp_path, "trust.jsonl", trust_snapshot_events()
+        )
+        assert main(["summarize", trace]) == 0
+        out = capsys.readouterr().out
+        assert "trust tiers (latest snapshot per replica):" in out
+        assert "replica r-1: 22 clients, mean trust 0.480" in out
+        # export_jsonl sorts payload keys, so tiers render sorted.
+        assert "DENIED=2, THROTTLED=4, TRUSTED=4, WATCH=12" in out
+        assert "replica r-2: 18 clients, mean trust 0.750" in out
+
+    def test_absent_snapshots_render_nothing(self, tmp_path, capsys):
+        trace = write_trace(tmp_path, "plain.jsonl", sample_events())
+        assert main(["summarize", trace]) == 0
+        assert "trust tiers" not in capsys.readouterr().out
 
 
 class TestSummarizeHelper:

@@ -1,0 +1,139 @@
+"""Acceptance: kill the coordinator mid-scenario, restart, recover.
+
+The paper's coordinator keeps bindings and attack belief in process
+memory — a crash forgets which clients were already cornered and the
+shuffle sequence starts over.  With a persistent state backend the
+successor process must pick up the predecessor's bindings, trust
+profiles, and belief, and finish the quarantine instead of restarting
+it.
+
+The predecessor runs as a real subprocess (``repro-serve scenario``)
+so the kill is a genuine SIGKILL — no atexit handler, no flush-on-
+shutdown path, only the batched mid-sweep persistence can have saved
+the state.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import sqlite3
+import subprocess
+import sys
+import time
+
+import pytest
+
+from repro.service import LoadConfig, ServiceConfig, run_scenario_sync
+from repro.trust import PROFILE_NAMESPACE, SqliteBackend
+
+pytestmark = [
+    pytest.mark.slow,
+    pytest.mark.skipif(
+        bool(os.environ.get("PYTHONASYNCIODEBUG")),
+        reason="asyncio debug instrumentation breaks the live timing budget",
+    ),
+]
+
+
+def _read_belief(db_path: str) -> dict | None:
+    """Poll the predecessor's belief document via a read-only sqlite
+    connection (WAL mode: concurrent readers are safe)."""
+    try:
+        conn = sqlite3.connect(
+            f"file:{db_path}?mode=ro", uri=True, timeout=0.2
+        )
+    except sqlite3.OperationalError:
+        return None
+    try:
+        row = conn.execute(
+            "SELECT value FROM kv WHERE namespace = ? AND key = ?",
+            ("state", "belief"),
+        ).fetchone()
+    except sqlite3.OperationalError:
+        return None  # table not created yet
+    finally:
+        conn.close()
+    return None if row is None else json.loads(row[0])
+
+
+def test_coordinator_survives_sigkill_with_sqlite_backend(tmp_path):
+    db_path = str(tmp_path / "state.db")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        p for p in ("src", env.get("PYTHONPATH", "")) if p
+    )
+    predecessor = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.service.cli", "scenario",
+            "--clients", "120", "--bots", "12", "--replicas", "10",
+            "--duration", "120", "--trust",
+            "--state-backend", f"sqlite:{db_path}",
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    try:
+        # Wait until the defense has demonstrably made progress — at
+        # least two completed shuffles persisted — then kill it dead.
+        deadline = time.monotonic() + 90.0
+        belief = None
+        while time.monotonic() < deadline:
+            if predecessor.poll() is not None:
+                pytest.fail(
+                    "scenario finished before the kill "
+                    f"(rc={predecessor.returncode}); belief={belief}"
+                )
+            belief = _read_belief(db_path)
+            if belief is not None and belief.get("shuffles_completed", 0) >= 2:
+                break
+            time.sleep(0.25)
+        else:
+            pytest.fail(f"no persisted progress before kill: {belief}")
+        predecessor.send_signal(signal.SIGKILL)
+        predecessor.wait(timeout=30)
+    finally:
+        if predecessor.poll() is None:
+            predecessor.kill()
+            predecessor.wait(timeout=30)
+
+    # The corpse left durable state behind: bindings, profiles, belief.
+    storage = SqliteBackend(db_path)
+    try:
+        bindings = storage.items("bindings")
+        profiles = storage.items(PROFILE_NAMESPACE)
+        belief = storage.get("state", "belief")
+    finally:
+        storage.close()
+    # Essentially the whole population had a persisted binding (a
+    # straggler that never issued a request may legitimately miss).
+    assert len(bindings) >= 125
+    assert len(profiles) > 0
+    assert belief is not None
+    killed_at = belief["shuffles_completed"]
+    assert killed_at >= 2
+
+    # The successor must resume, not restart: same backend, same
+    # population, and the finished run credits the predecessor's
+    # rounds while still quarantining within the overall budget.
+    service_config = ServiceConfig(
+        n_replicas=10, seed=7, telemetry_port=None,
+        trust_enabled=True,
+        state_backend=f"sqlite:{db_path}",
+    )
+    load_config = LoadConfig(n_benign=120, n_bots=12, seed=11)
+    report = run_scenario_sync(
+        service_config, load_config, duration=90.0, target_fraction=0.95
+    )
+
+    assert report.restored
+    assert report.snapshot["restored"] is True
+    assert report.snapshot["restored_shuffles"] >= killed_at
+    assert report.shuffles_completed >= killed_at
+    assert report.quarantined, report.snapshot
+    assert report.shuffles_completed <= report.budget
+    assert report.benign_clean_fraction >= 0.95
+    assert report.trust is not None
+    assert report.trust["population"] >= 12

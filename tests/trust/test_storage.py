@@ -1,0 +1,153 @@
+"""Storage-backend contract: all three implementations, one behaviour.
+
+The parametrized contract is the point — the coordinator must not care
+which backend sits behind it, so every semantic assertion here runs
+against memory, sqlite, and the atomic JSON file alike.  Backend-
+specific tests cover what the contract cannot: surviving a reopen
+(sqlite, file) and atomic replacement (file).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.trust import (
+    JsonFileBackend,
+    MemoryBackend,
+    SqliteBackend,
+    StorageBackend,
+    make_backend,
+)
+
+
+@pytest.fixture(params=["memory", "sqlite", "file"])
+def backend(request, tmp_path) -> StorageBackend:
+    if request.param == "memory":
+        return MemoryBackend()
+    if request.param == "sqlite":
+        return SqliteBackend(str(tmp_path / "state.db"))
+    return JsonFileBackend(str(tmp_path / "state.json"))
+
+
+class TestContract:
+    def test_get_absent_returns_none(self, backend):
+        assert backend.get("bindings", "nope") is None
+
+    def test_put_get_roundtrip(self, backend):
+        backend.put("bindings", "alice", {"replica": "r-1"})
+        assert backend.get("bindings", "alice") == {"replica": "r-1"}
+
+    def test_put_overwrites(self, backend):
+        backend.put("bindings", "alice", {"replica": "r-1"})
+        backend.put("bindings", "alice", {"replica": "r-9"})
+        assert backend.get("bindings", "alice") == {"replica": "r-9"}
+
+    def test_namespaces_are_disjoint(self, backend):
+        backend.put("bindings", "k", {"v": 1})
+        backend.put("profiles", "k", {"v": 2})
+        assert backend.get("bindings", "k") == {"v": 1}
+        assert backend.get("profiles", "k") == {"v": 2}
+
+    def test_delete_and_absent_delete(self, backend):
+        backend.put("bindings", "alice", {"replica": "r-1"})
+        backend.delete("bindings", "alice")
+        assert backend.get("bindings", "alice") is None
+        backend.delete("bindings", "alice")  # no-op, no raise
+
+    def test_items_sorted_by_key(self, backend):
+        backend.put("bindings", "b", {"n": 2})
+        backend.put("bindings", "a", {"n": 1})
+        backend.put("bindings", "c", {"n": 3})
+        assert backend.items("bindings") == [
+            ("a", {"n": 1}), ("b", {"n": 2}), ("c", {"n": 3}),
+        ]
+
+    def test_items_empty_namespace(self, backend):
+        assert backend.items("nothing") == []
+
+    def test_put_many(self, backend):
+        backend.put_many(
+            "profiles", [("x", {"t": 0.5}), ("y", {"t": 0.9})]
+        )
+        assert backend.get("profiles", "x") == {"t": 0.5}
+        assert backend.get("profiles", "y") == {"t": 0.9}
+
+    def test_values_json_roundtrip_everywhere(self, backend):
+        """Tuples come back as lists on *every* backend, so in-memory
+        runs cannot behave differently from persistent ones."""
+        backend.put("state", "belief", {"ids": ("a", "b"), "n": 3})
+        value = backend.get("state", "belief")
+        assert value == {"ids": ["a", "b"], "n": 3}
+        assert isinstance(value["ids"], list)
+
+    def test_flush_and_close_are_callable(self, backend):
+        backend.put("bindings", "a", {"r": "r-1"})
+        backend.flush()
+        backend.close()
+
+
+class TestPersistence:
+    def test_memory_is_not_persistent(self):
+        assert MemoryBackend().persistent is False
+
+    def test_sqlite_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "state.db")
+        first = SqliteBackend(path)
+        assert first.persistent is True
+        first.put("bindings", "alice", {"replica": "r-2"})
+        first.close()
+        second = SqliteBackend(path)
+        assert second.get("bindings", "alice") == {"replica": "r-2"}
+        second.close()
+
+    def test_file_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "state.json")
+        first = JsonFileBackend(path)
+        assert first.persistent is True
+        first.put("bindings", "alice", {"replica": "r-2"})
+        first.close()
+        second = JsonFileBackend(path)
+        assert second.get("bindings", "alice") == {"replica": "r-2"}
+
+    def test_file_writes_are_atomic_documents(self, tmp_path):
+        """On-disk content is always one complete JSON document (the
+        tmp + os.replace idiom), never a partial write."""
+        path = tmp_path / "state.json"
+        backend = JsonFileBackend(str(path))
+        backend.put_many("bindings", [("a", {"r": "r-1"})])
+        on_disk = json.loads(path.read_text(encoding="utf-8"))
+        assert on_disk == {"bindings": {"a": {"r": "r-1"}}}
+        assert not (tmp_path / "state.json.tmp").exists()
+
+    def test_file_put_without_flush_not_durable_until_flush(
+        self, tmp_path
+    ):
+        path = tmp_path / "state.json"
+        backend = JsonFileBackend(str(path))
+        backend.put("bindings", "a", {"r": "r-1"})
+        assert not path.exists()
+        backend.flush()
+        assert path.exists()
+
+
+class TestMakeBackend:
+    def test_memory_spec(self):
+        assert isinstance(make_backend("memory"), MemoryBackend)
+
+    def test_sqlite_spec(self, tmp_path):
+        backend = make_backend(f"sqlite:{tmp_path / 'x.db'}")
+        assert isinstance(backend, SqliteBackend)
+        backend.close()
+
+    def test_file_spec(self, tmp_path):
+        backend = make_backend(f"file:{tmp_path / 'x.json'}")
+        assert isinstance(backend, JsonFileBackend)
+
+    @pytest.mark.parametrize(
+        "spec", ["sqlite", "file:", "redis:somewhere", "sqlite:"]
+    )
+    def test_bad_specs_raise(self, spec):
+        with pytest.raises(ValueError):
+            make_backend(spec)

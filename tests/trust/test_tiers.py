@@ -1,0 +1,102 @@
+"""Tier ladder: floors, immediate demotion, graduated promotion."""
+
+from __future__ import annotations
+
+from repro.trust import ProfileTable, TrustConfig, TrustTier, tier_for_score
+
+
+def test_tier_for_score_floors():
+    config = TrustConfig()
+    assert tier_for_score(0.9, config) is TrustTier.TRUSTED
+    assert tier_for_score(config.trusted_floor, config) is TrustTier.TRUSTED
+    assert tier_for_score(0.6, config) is TrustTier.WATCH
+    assert tier_for_score(config.watch_floor, config) is TrustTier.WATCH
+    assert tier_for_score(0.2, config) is TrustTier.THROTTLED
+    assert tier_for_score(0.05, config) is TrustTier.DENIED
+
+
+def test_tier_ordering_matches_privilege():
+    assert (
+        TrustTier.DENIED
+        < TrustTier.THROTTLED
+        < TrustTier.WATCH
+        < TrustTier.TRUSTED
+    )
+
+
+def _ladder_config(**overrides) -> TrustConfig:
+    """Deterministic ladder dynamics: no jitter, every violation counts
+    (no rate gate, no cooldown), 1s heal constant and dwell."""
+    params = dict(
+        heal_tau=1.0,
+        heal_jitter=0.0,
+        violation_rate=0.0,
+        penalty_cooldown=0.0,
+        violation_penalty=0.9,
+        promotion_dwell=1.0,
+        seed=1,
+    )
+    params.update(overrides)
+    return TrustConfig(**params)
+
+
+def test_demotion_is_immediate_and_skips_rungs():
+    table = ProfileTable(_ladder_config())
+    table.observe("bot", now=0.0)  # first sight: WATCH (initial 0.6)
+    assert table.tier_of("bot") is TrustTier.WATCH
+    # One counted violation with penalty 0.9 crushes the score straight
+    # past THROTTLED into DENIED — no rung-at-a-time grace on the way
+    # down.  (dt=0.5 so the rate EMA is nonzero and the hit counts.)
+    tier = table.observe("bot", now=0.5, violation=True)
+    assert tier is TrustTier.DENIED
+    assert table.trust_of("bot") < 0.12
+
+
+def test_promotion_climbs_one_rung_per_dwell():
+    table = ProfileTable(_ladder_config())
+    table.observe("pc", now=0.0)
+    table.observe("pc", now=0.5, violation=True)  # -> DENIED at t=0.5
+    assert table.tier_of("pc") is TrustTier.DENIED
+
+    # Quiet observation at t=1.0 heals the score well past the WATCH
+    # promotion threshold, but only 0.5s of dwell has accrued: no move.
+    table.observe("pc", now=1.0)
+    assert table.trust_of("pc") > 0.2
+    assert table.tier_of("pc") is TrustTier.DENIED
+
+    # t=1.6: dwell satisfied (1.1s at DENIED).  The score would qualify
+    # for WATCH outright, but promotion climbs exactly one rung.
+    assert table.observe("pc", now=1.6) is TrustTier.THROTTLED
+
+    # Each further dwell period buys exactly one more rung.
+    assert table.observe("pc", now=2.8) is TrustTier.WATCH
+    assert table.observe("pc", now=4.0) is TrustTier.TRUSTED
+    assert table.trust_of("pc") > 0.9
+
+
+def test_promotion_requires_hysteresis_margin():
+    # Pin a profile just above the WATCH floor while THROTTLED: the
+    # bare floor is met but the hysteresis margin is not, so the score
+    # may not climb — it would flap right back down.
+    config = _ladder_config(heal_tau=1e9)  # freeze healing
+    table = ProfileTable(config)
+    table.ensure("edge", now=0.0)
+    table.load_row("edge", {
+        "trust": config.watch_floor + 0.01,
+        "tier": int(TrustTier.THROTTLED),
+        "tier_since": 0.0,
+        "last_seen": 0.0,
+    })
+    assert table.observe("edge", now=5.0) is TrustTier.THROTTLED
+
+    # The same score with hysteresis switched off does climb.
+    bare = _ladder_config(heal_tau=1e9, hysteresis=0.0)
+    table2 = ProfileTable(bare)
+    table2.ensure("edge", now=0.0)
+    table2.load_row("edge", {
+        "trust": bare.watch_floor + 0.01,
+        "tier": int(TrustTier.THROTTLED),
+        "tier_since": 0.0,
+        "last_seen": 0.0,
+    })
+    assert table2.observe("edge", now=5.0) is TrustTier.WATCH
