@@ -1,0 +1,264 @@
+"""Vectorized-core benchmark: latency gates and scalar-vs-vector speedups.
+
+Two consumers:
+
+- ``python benchmarks/bench_core.py [--quick] [--json PATH]`` — the CI
+  ``core-bench`` step.  Measures estimate/plan latency through the
+  unified :mod:`repro.core.api` seam at growing (N, P) scales, measures
+  the speedup of each vectorized kernel over its frozen scalar seed
+  (``benchmarks/scalar_core.py``), writes ``BENCH_core.json``, and
+  **fails** (exit 1) if the gated scale misses the 1-second budget —
+  plan + estimate at N=10^5/P=10^2 under ``--quick``, N=10^6/P=10^3
+  on the full run.
+- ``pytest benchmarks/bench_core.py`` — the same latency cells through
+  pytest-benchmark's statistics machinery.
+
+The 1-second budget is the paper's own bar: shuffling decisions are
+"runtime algorithms" (Section IV-C) that must keep up with a
+few-seconds-per-shuffle control loop (Figure 12).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from benchmarks.scalar_core import (  # noqa: E402
+    scalar_attacked_count_pmf,
+    scalar_combine,
+    scalar_mle_m_hat,
+    scalar_optimal_assign,
+)
+from repro.core.api import EstimateRequest, PlanRequest, estimate, plan
+from repro.core.dp import optimal_assign
+from repro.core.dp_fast import _Node, _combine
+from repro.core.estimator import _estimate_mle, attacked_count_pmf
+
+#: (n_clients, n_replicas) latency cells, smallest first.  The third
+#: field marks the cell whose latency is *gated* at 1 s in CI.
+SCALES = (
+    (1_000, 10, False),
+    (10_000, 32, False),
+    (100_000, 100, True),  # --quick gate
+    (1_000_000, 1_000, True),  # full-run gate
+)
+
+GATE_SECONDS = 1.0
+
+
+def _time(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def _cell(n_clients: int, n_replicas: int) -> dict[str, float | int]:
+    """Plan + estimate latency at one (N, P) scale via the api seam."""
+    n_bots = max(1, n_clients // 100)
+    n_attacked = max(1, int(0.6 * n_replicas))
+    plan_seconds = _time(
+        lambda: plan(
+            PlanRequest(
+                n_clients=n_clients,
+                n_bots=n_bots,
+                n_replicas=n_replicas,
+                method="greedy",
+            )
+        )
+    )
+    estimate_seconds = _time(
+        lambda: estimate(
+            EstimateRequest(
+                n_attacked=n_attacked,
+                n_replicas=n_replicas,
+                upper_bound=n_clients,
+                method="mle",
+            )
+        )
+    )
+    return {
+        "n_clients": n_clients,
+        "n_replicas": n_replicas,
+        "n_bots": n_bots,
+        "n_attacked": n_attacked,
+        "plan_seconds": plan_seconds,
+        "estimate_seconds": estimate_seconds,
+        "total_seconds": plan_seconds + estimate_seconds,
+    }
+
+
+def _speedups() -> list[dict[str, float | str]]:
+    """Vectorized kernel vs frozen scalar seed, equal work each side."""
+    rows: list[dict[str, float | str]] = []
+
+    # Occupancy MLE past _EXACT_SWEEP_LIMIT: the scalar seed sweeps
+    # every candidate m; the hybrid closed-form + grid-search path is
+    # where the vectorized estimator earns its keep.
+    scalar = _time(lambda: scalar_mle_m_hat(150, 256, 100_000))
+    vector = _time(lambda: _estimate_mle(150, 256, 100_000))
+    rows.append(
+        {
+            "kernel": "estimate_mle(x=150, P=256, upper=1e5)",
+            "scalar_seconds": scalar,
+            "vector_seconds": vector,
+            "speedup": scalar / max(vector, 1e-12),
+        }
+    )
+
+    # Poisson-binomial convolution over a wide plan.
+    sizes = np.full(2_000, 50, dtype=np.int64)
+    scalar = _time(
+        lambda: scalar_attacked_count_pmf(sizes, 100_000, 1_000)
+    )
+    vector = _time(lambda: attacked_count_pmf(sizes, 100_000, 1_000))
+    rows.append(
+        {
+            "kernel": "attacked_count_pmf(P=2e3, N=1e5)",
+            "scalar_seconds": scalar,
+            "vector_seconds": vector,
+            "speedup": scalar / max(vector, 1e-12),
+        }
+    )
+
+    # (max,+) convolution at dp_fast's paper scale.
+    rng = np.random.default_rng(20140623)
+    uv = rng.uniform(0.0, 1_000.0, size=4_001)
+    vv = rng.uniform(0.0, 1_000.0, size=4_001)
+    scalar = _time(lambda: scalar_combine(uv, vv))
+    vector = _time(
+        lambda: _combine(
+            _Node(values=uv, n_replicas=1),
+            _Node(values=vv, n_replicas=1),
+        )
+    )
+    rows.append(
+        {
+            "kernel": "dp_fast._combine(size=4e3)",
+            "scalar_seconds": scalar,
+            "vector_seconds": vector,
+            "speedup": scalar / max(vector, 1e-12),
+        }
+    )
+
+    # Algorithm 1 tables (small N: the scalar nest is seconds already).
+    scalar = _time(lambda: scalar_optimal_assign(60, 12, 4))
+    vector = _time(lambda: optimal_assign(60, 12, 4))
+    rows.append(
+        {
+            "kernel": "dp.optimal_assign(N=60, M=12, P=4)",
+            "scalar_seconds": scalar,
+            "vector_seconds": vector,
+            "speedup": scalar / max(vector, 1e-12),
+        }
+    )
+    return rows
+
+
+def run(quick: bool) -> dict[str, object]:
+    cells = []
+    for n_clients, n_replicas, gated in SCALES:
+        if quick and n_clients > 100_000:
+            continue
+        cell = _cell(n_clients, n_replicas)
+        cell["gated"] = gated
+        cells.append(cell)
+    return {
+        "benchmark": "core",
+        "quick": quick,
+        "gate_seconds": GATE_SECONDS,
+        "cells": cells,
+        "speedups": _speedups(),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="stop at N=1e5/P=1e2 (the CI gate scale)",
+    )
+    parser.add_argument(
+        "--json", default="BENCH_core.json",
+        help="output path (default: %(default)s)",
+    )
+    options = parser.parse_args(argv)
+
+    report = run(options.quick)
+    Path(options.json).write_text(
+        json.dumps(report, indent=2) + "\n", encoding="utf-8"
+    )
+
+    failed = False
+    for cell in report["cells"]:  # type: ignore[union-attr]
+        flag = ""
+        if cell["gated"]:
+            over = cell["total_seconds"] > GATE_SECONDS
+            flag = "  [GATE " + ("FAIL]" if over else "OK]")
+            failed = failed or over
+        print(
+            f"N={cell['n_clients']:>9,} P={cell['n_replicas']:>5,}  "
+            f"plan {cell['plan_seconds']*1e3:8.1f} ms  "
+            f"estimate {cell['estimate_seconds']*1e3:8.1f} ms{flag}"
+        )
+    print()
+    for row in report["speedups"]:  # type: ignore[union-attr]
+        print(
+            f"{row['kernel']:<40} scalar {row['scalar_seconds']*1e3:8.1f}"
+            f" ms  vector {row['vector_seconds']*1e3:8.1f} ms  "
+            f"speedup {row['speedup']:6.1f}x"
+        )
+    print(f"\nwrote {options.json}")
+    return 1 if failed else 0
+
+
+# ---------------------------------------------------------------------------
+# pytest-benchmark entry points (same cells, statistical timing)
+# ---------------------------------------------------------------------------
+
+
+def test_core_gate_quick(benchmark):
+    """Plan + estimate at the CI gate scale stays under one second."""
+
+    def both():
+        cell = _cell(100_000, 100)
+        return cell["total_seconds"]
+
+    total = benchmark.pedantic(both, rounds=3, iterations=1)
+    assert total < GATE_SECONDS
+
+
+def test_core_estimate_paper_scale(benchmark):
+    """MLE at N=10^6, P=10^3 — the hybrid grid-search path."""
+    request = EstimateRequest(
+        n_attacked=600, n_replicas=1_000, upper_bound=1_000_000,
+        method="mle",
+    )
+    result = benchmark.pedantic(
+        estimate, args=(request,), rounds=3, iterations=1
+    )
+    assert result.m_hat >= 600
+    assert benchmark.stats["mean"] < GATE_SECONDS
+
+
+def test_core_plan_paper_scale(benchmark):
+    """Greedy planning at N=10^6, P=10^3 through the api seam."""
+    request = PlanRequest(
+        n_clients=1_000_000, n_bots=10_000, n_replicas=1_000,
+        method="greedy",
+    )
+    shuffle = benchmark.pedantic(
+        plan, args=(request,), rounds=3, iterations=1
+    )
+    assert sum(shuffle.group_sizes) == 1_000_000
+    assert benchmark.stats["mean"] < GATE_SECONDS
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -10,9 +10,10 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.core.api import EstimateRequest, estimate
 from repro.core.combinatorics import expected_saved_single_many
 from repro.core.dp_fast import dp_fast_value
-from repro.core.estimator import estimate_bots_moment, occupancy_pmf
+from repro.core.estimator import occupancy_pmf
 from repro.core.objective import single_replica_optimum
 
 
@@ -45,8 +46,12 @@ def test_kernel_occupancy_pmf(benchmark):
 
 
 def test_kernel_moment_estimator(benchmark):
-    estimate = benchmark(estimate_bots_moment, 700, 1000, 150_000)
-    assert estimate.m_hat > 0
+    request = EstimateRequest(
+        n_attacked=700, n_replicas=1000, upper_bound=150_000,
+        method="moment",
+    )
+    result = benchmark(estimate, request)
+    assert result.m_hat > 0
     assert benchmark.stats["mean"] < 1e-3
 
 

@@ -35,10 +35,10 @@ defense end to end:
 
 Quickstart::
 
-    from repro import greedy_plan, ShuffleEngine
+    from repro import PlanRequest, ShuffleEngine, plan
 
-    plan = greedy_plan(n_clients=1000, n_bots=100, n_replicas=50)
-    print(plan.describe())
+    shuffle = plan(PlanRequest(n_clients=1000, n_bots=100, n_replicas=50))
+    print(shuffle.describe())
 
     engine = ShuffleEngine(n_replicas=1000, planner="greedy")
     state = engine.run(benign=50_000, bots=100_000, target_fraction=0.8)
@@ -54,8 +54,10 @@ from __future__ import annotations
 from . import detect, obs, runtime, trust
 from .core import (
     BotEstimate,
+    EstimateRequest,
     PLANNERS,
     PlanError,
+    PlanRequest,
     RoundResult,
     ShuffleEngine,
     ShufflePlan,
@@ -73,13 +75,16 @@ from .core import (
     single_replica_optimum,
     survival_probability,
 )
+from .core.api import estimate, plan
 
 __version__ = "1.0.0"
 
 __all__ = [
     "BotEstimate",
+    "EstimateRequest",
     "PLANNERS",
     "PlanError",
+    "PlanRequest",
     "RoundResult",
     "ShuffleEngine",
     "ShufflePlan",
@@ -90,12 +95,14 @@ __all__ = [
     "dp_fast_value",
     "dp_plan",
     "dp_value",
+    "estimate",
     "estimate_bots_mle",
     "estimate_bots_moment",
     "even_plan",
     "expected_saved",
     "greedy_plan",
     "obs",
+    "plan",
     "runtime",
     "shuffle_trajectory",
     "single_replica_optimum",

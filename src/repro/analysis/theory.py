@@ -94,9 +94,16 @@ def expected_saved_fraction_even(
     ``P · x · C(N−x, M)/C(N, M)`` and the benign population is ``N − M``.
     Computed with the same log-space machinery as the planners.
     """
-    from ..core.even import even_plan
+    from ..core.api import PlanRequest, plan as plan_shuffle
 
     if n_clients <= n_bots:
         return 0.0
-    plan = even_plan(n_clients, n_bots, n_replicas)
+    plan = plan_shuffle(
+        PlanRequest(
+            n_clients=n_clients,
+            n_bots=n_bots,
+            n_replicas=n_replicas,
+            method="even",
+        )
+    )
     return plan.expected_saved / (n_clients - n_bots)

@@ -20,7 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from ..core.estimator import estimate_bots_moment
+from ..core.api import EstimateRequest, estimate as estimate_bots
 from ..core.greedy import greedy_sizes
 from .network import Endpoint
 from .replica import ReplicaServer
@@ -256,10 +256,13 @@ class Coordinator:
         # client spread (Section V).  The moment estimator keeps the
         # control loop cheap; see repro.core.estimator for the exact MLE.
         active = self.ctx.active_replicas()
-        estimate = estimate_bots_moment(
-            n_attacked=len(attacked),
-            n_replicas=max(len(active), 1),
-            upper_bound=max(n_clients, len(attacked)),
+        estimate = estimate_bots(
+            EstimateRequest(
+                n_attacked=len(attacked),
+                n_replicas=max(len(active), 1),
+                upper_bound=max(n_clients, len(attacked)),
+                method="moment",
+            )
         )
         believed_bots = min(max(estimate.m_hat, 1), max(n_clients, 1))
 

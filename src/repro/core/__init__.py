@@ -15,10 +15,19 @@ This package implements the paper's primary contribution (Sections IV & V):
 - :mod:`~repro.core.estimator` — MLE / moment attack-scale estimation
   (Section V).
 - :mod:`~repro.core.shuffler` — the multi-round shuffling control loop.
+- :mod:`~repro.core.api` — the unified batch-first ``estimate()`` /
+  ``plan()`` dispatchers every consumer goes through.  The historical
+  per-algorithm entry points (``estimate_bots_*``, ``*_plan``) are
+  deprecated shims over this seam; see ``docs/core-api.md``.
 """
 
 from __future__ import annotations
 
+# The dispatcher *functions* stay namespaced under repro.core.api (and
+# re-exported at top level as repro.estimate / repro.plan): binding
+# ``plan`` here would shadow the :mod:`repro.core.plan` submodule.
+from . import api
+from .api import EstimateRequest, PlanRequest
 from .combinatorics import (
     expected_saved_single,
     hypergeometric_pmf,
@@ -59,6 +68,9 @@ from .shuffler import (
 
 __all__ = [
     "BotEstimate",
+    "EstimateRequest",
+    "PlanRequest",
+    "api",
     "attacked_count_pmf",
     "estimate_bots_weighted",
     "PLANNERS",

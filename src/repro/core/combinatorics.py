@@ -33,12 +33,15 @@ __all__ = [
     "binomial_ratio",
     "survival_probability",
     "survival_probabilities",
+    "survival_log_probabilities",
     "expected_saved_single",
     "expected_saved_single_many",
     "hypergeometric_pmf",
     "hypergeometric_pmf_vector",
     "logsumexp",
+    "logsumexp_signed",
     "log1mexp",
+    "log1mexp_many",
 ]
 
 #: Mächler's split point for :func:`log1mexp` (arXiv accuracy note on
@@ -75,6 +78,39 @@ def logsumexp(log_values: np.ndarray) -> float:
     return peak + math.log(float(np.sum(np.exp(arr - peak))))
 
 
+def logsumexp_signed(
+    log_magnitudes: np.ndarray,
+    signs: np.ndarray,
+    axis: int = -1,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Batched ``log |Σ_i s_i · exp(a_i)|`` plus the sign of each sum.
+
+    The signed (alternating-series) counterpart of :func:`logsumexp`,
+    reduced along ``axis``: the peak magnitude is factored out before
+    exponentiation, the signed terms are summed in linear space, and the
+    result is returned as ``(log_abs, sign)`` with ``sign ∈ {-1, 0, 1}``.
+    A slice whose terms are all ``-inf`` (every addend is zero) returns
+    ``(-inf, 0)``.
+
+    Accuracy depends on the cancellation ratio ``|Σ| / max exp(a_i)``:
+    callers must only rely on the result where that ratio is not tiny
+    (see the closed-form occupancy tail in :mod:`repro.core.estimator`,
+    which switches to this form only above its stability threshold).
+    """
+    magnitudes = np.asarray(log_magnitudes, dtype=np.float64)
+    sign_arr = np.asarray(signs, dtype=np.float64)
+    peak = np.max(magnitudes, axis=axis, keepdims=True)
+    # All--inf slices would turn (a - peak) into nan; shift those by 0.
+    safe_peak = np.where(np.isfinite(peak), peak, 0.0)
+    total = np.sum(
+        sign_arr * np.exp(magnitudes - safe_peak), axis=axis
+    )
+    # domain: log — |total| re-enters log space with the peak restored.
+    with np.errstate(divide="ignore"):
+        log_abs = np.log(np.abs(total)) + np.squeeze(safe_peak, axis=axis)
+    return log_abs, np.sign(total)
+
+
 def log1mexp(x: float) -> float:
     """Stable ``log(1 - exp(x))`` for ``x <= 0`` — the log-complement.
 
@@ -100,6 +136,31 @@ def log1mexp(x: float) -> float:
     # implementation of the shape the P13 log1p(-exp(x)) finding flags.
     # reprolint: disable=P13
     return math.log1p(-math.exp(x))
+
+
+def log1mexp_many(x: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`log1mexp` — ``log(1 - exp(x))`` elementwise.
+
+    Mirrors the scalar helper's Mächler two-branch form; ``x == 0``
+    entries (probability exactly 1) come out as ``-inf`` and ``x`` must
+    be ``<= 0`` everywhere.
+    """
+    arr = np.asarray(x, dtype=np.float64)
+    if arr.size and float(np.max(arr)) > 0.0:
+        raise ValueError("log1mexp_many requires x <= 0 everywhere")
+    near_one = arr > _LOG_HALF  # exp(x) near 1: expm1 branch
+    with np.errstate(divide="ignore"):
+        # Both branches are evaluated on the full array (numpy has no
+        # lazy select); the inaccurate lane is discarded by the where.
+        # Canonical vector form of the shape the P13 log1p(-exp(x))
+        # finding flags — same justification as the scalar log1mexp.
+        out = np.where(
+            near_one,
+            np.log(-np.expm1(arr)),
+            # reprolint: disable=P13
+            np.log1p(-np.exp(np.minimum(arr, _LOG_HALF))),
+        )
+    return out
 
 
 @lru_cache(maxsize=1 << 20)
@@ -171,12 +232,40 @@ def survival_probabilities(n: int, m: int, xs: np.ndarray) -> np.ndarray:
     xs = np.asarray(xs, dtype=np.int64)
     if xs.size == 0:
         return np.zeros(0, dtype=np.float64)
+    if m == 0:
+        if xs.min() < 0 or xs.max() > n:
+            raise ValueError("group sizes must be within [0, n]")
+        if not 0 <= m <= n:
+            raise ValueError(f"m={m} must be within [0, {n}]")
+        return np.ones(xs.shape, dtype=np.float64)
+    out = survival_log_probabilities(n, m, xs)
+    # The numerator uses scipy's gammaln while the denominator uses
+    # math.lgamma; their last-ulp disagreement can push exp() a few 1e-16
+    # above 1.0 (e.g. at x = 0, where the true ratio is exactly 1).  Clip
+    # to the probability range rather than leak >1 values downstream.
+    return np.clip(np.exp(out), 0.0, 1.0)
+
+
+def survival_log_probabilities(
+    n: int, m: int, xs: np.ndarray
+) -> np.ndarray:
+    """``log p_i`` for every group size — the log-space survival kernel.
+
+    Same quantity as :func:`survival_probabilities` but *kept* in log
+    space (``log C(n - x, m) - log C(n, m)``, ``-inf`` for impossible
+    configurations), for callers that would underflow in linear space —
+    the Poisson-binomial convolution at paper scale chief among them.
+    """
+    xs = np.asarray(xs, dtype=np.int64)
+    if xs.size == 0:
+        return np.zeros(0, dtype=np.float64)
     if xs.min() < 0 or xs.max() > n:
         raise ValueError("group sizes must be within [0, n]")
     if not 0 <= m <= n:
         raise ValueError(f"m={m} must be within [0, {n}]")
     if m == 0:
-        return np.ones(xs.shape, dtype=np.float64)
+        # domain: log — log 1 for every replica.
+        return np.zeros(xs.shape, dtype=np.float64)
     rest = n - xs
     # log C(rest, m) - log C(n, m); C(rest, m) = 0 whenever rest < m.
     out = np.full(xs.shape, -np.inf, dtype=np.float64)
@@ -191,11 +280,9 @@ def survival_probabilities(n: int, m: int, xs: np.ndarray) -> np.ndarray:
         math.lgamma(n + 1) - math.lgamma(m + 1) - math.lgamma(n - m + 1)
     )
     out[ok] = log_num - log_den
-    # The numerator uses scipy's gammaln while the denominator uses
-    # math.lgamma; their last-ulp disagreement can push exp() a few 1e-16
-    # above 1.0 (e.g. at x = 0, where the true ratio is exactly 1).  Clip
-    # to the probability range rather than leak >1 values downstream.
-    return np.clip(np.exp(out), 0.0, 1.0)
+    # A log-probability can land a few ulp above 0 for the same
+    # numerator/denominator lgamma mismatch the linear path clips.
+    return np.minimum(out, 0.0)
 
 
 def _lgamma(values: np.ndarray | float) -> np.ndarray:

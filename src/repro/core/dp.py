@@ -24,11 +24,12 @@ two formulations as one problem.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 
 import numpy as np
 
-from .combinatorics import hypergeometric_pmf_vector
+from .combinatorics import _lgamma, hypergeometric_pmf_vector
 from .objective import expected_saved_sizes
 from .plan import ShufflePlan
 
@@ -59,62 +60,103 @@ class DPTables:
         )
 
 
+def _dp_row(
+    i: int, prev: np.ndarray, n_bots: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """One table row: values/argmaxes over all ``j`` at client count ``i``.
+
+    The paper's three inner loops (``j``, split size ``a``, bot count
+    ``b``) become one broadcast over a ``(j, a, b)`` candidate tensor:
+    the hypergeometric weights (Equation 3) are rebuilt from a shared
+    ``lgamma`` table, the ``S(i−a, j−b, k−1)`` continuations gathered by
+    fancy indexing, and the maximizing ``a`` read off with a first-
+    occurrence ``argmax`` — the same smallest-``a`` tie-break as the
+    historical strict-``>`` scan.
+    """
+    save_row = np.zeros(n_bots + 1, dtype=np.float64)
+    assign_row = np.zeros(n_bots + 1, dtype=np.int64)
+    # j = 0: no bots anywhere, every client is saved whatever the split.
+    save_row[0] = float(i)
+    assign_row[0] = i
+    if i == 1:
+        # No interior split exists for j >= 1; fall back to the base
+        # layer (the lone client rides one replica and is lost).
+        return save_row, assign_row
+    m_i = min(i, n_bots)
+    if m_i == 0:
+        return save_row, assign_row
+    js = np.arange(1, m_i + 1, dtype=np.int64)
+    a_vals = np.arange(1, i, dtype=np.int64)
+    bs = np.arange(0, min(i - 1, m_i) + 1, dtype=np.int64)
+    jj = js[:, None, None]
+    aa = a_vals[None, :, None]
+    bb = bs[None, None, :]
+    valid = (bb <= jj) & (bb <= aa) & (aa - bb <= i - jj)
+    lg = _lgamma(np.arange(i + 1, dtype=np.float64) + 1.0)  # log t!
+    # log Pr(b) = log C(j, b) + log C(i−j, a−b) − log C(i, a); indices
+    # are clipped so invalid (masked) cells stay in range.
+    log_h = (
+        lg[jj]
+        - lg[bb]
+        - lg[np.clip(jj - bb, 0, i)]
+        + lg[i - jj]
+        - lg[np.clip(aa - bb, 0, i)]
+        - lg[np.clip((i - jj) - (aa - bb), 0, i)]
+        - (lg[i] - lg[aa] - lg[i - aa])
+    )
+    h = np.where(
+        valid,
+        np.clip(np.exp(np.where(valid, log_h, -np.inf)), 0.0, 1.0),
+        0.0,
+    )
+    # Continuations S(i−a, j−b, k−1); out-of-support (j−b < 0) cells are
+    # index-clipped and carry zero probability.
+    rest = prev[i - aa, np.clip(jj - bb, 0, n_bots)]
+    # S(a, b, 1) contributes only at b = 0 (Equation 2).
+    value = h[:, :, 0] * a_vals[None, :].astype(np.float64)
+    value += np.sum(h * rest, axis=2)
+    best = np.argmax(value, axis=1)
+    save_row[1 : m_i + 1] = np.take_along_axis(
+        value, best[:, None], axis=1
+    )[:, 0]
+    assign_row[1 : m_i + 1] = a_vals[best]
+    return save_row, assign_row
+
+
 def optimal_assign(n_clients: int, n_bots: int, n_replicas: int) -> DPTables:
     """Run Algorithm 1 and return the filled tables.
 
-    This is intentionally the paper's formulation, not the fastest
-    equivalent one; use :func:`repro.core.dp_fast.dp_fast_plan` beyond
-    ``N`` of a few hundred.
+    This is intentionally the paper's formulation — layer by layer in
+    ``k``, row by row in ``i`` — with each row's ``(j, a, b)`` candidate
+    enumeration vectorized by :func:`_dp_row`; use
+    :func:`repro.core.dp_fast.dp_fast_plan` beyond ``N`` of a few hundred.
     """
     if n_replicas < 1:
         raise ValueError(f"n_replicas={n_replicas} must be >= 1")
     if not 0 <= n_bots <= n_clients:
         raise ValueError(f"n_bots={n_bots} must be within [0, {n_clients}]")
 
-    shape = (n_clients + 1, n_bots + 1, n_replicas)
-    save_no = np.zeros(shape, dtype=np.float64)
-    assign_no = np.zeros(shape, dtype=np.int64)
-
     # Base case k = 1 (Equation 2): a bot-free replica saves all its
     # clients, an attacked one saves none.
-    for i in range(n_clients + 1):
-        save_no[i, 0, 0] = float(i)
+    base_save = np.zeros((n_clients + 1, n_bots + 1), dtype=np.float64)
+    base_save[:, 0] = np.arange(n_clients + 1, dtype=np.float64)
+    base_assign = np.zeros((n_clients + 1, n_bots + 1), dtype=np.int64)
 
-    for k in range(1, n_replicas):  # table axis k corresponds to k+1 replicas
-        prev = save_no[:, :, k - 1]
-        for i in range(n_clients + 1):
-            if i == 0:
-                continue
-            for j in range(min(i, n_bots) + 1):
-                if j == 0:
-                    # No bots anywhere: every client is saved regardless of
-                    # the split.
-                    save_no[i, j, k] = float(i)
-                    assign_no[i, j, k] = i
-                    continue
-                best_value = -1.0
-                best_a = 0
-                for a in range(1, i):
-                    pr = hypergeometric_pmf_vector(i, j, a)
-                    b_hi = pr.size - 1  # = min(a, j)
-                    # S(a, b, 1) contributes only at b = 0.
-                    value = pr[0] * a
-                    # Remaining subproblem S(i−a, j−b, k−1) for each b.
-                    rest = prev[i - a, j - b_hi : j + 1][::-1]
-                    value += float(pr @ rest)
-                    if value > best_value:
-                        best_value = value
-                        best_a = a
-                if best_a == 0:
-                    # i == 1: no interior split exists; fall back to putting
-                    # the lone client on one replica.
-                    save_no[i, j, k] = save_no[i, j, 0]
-                else:
-                    save_no[i, j, k] = best_value
-                    assign_no[i, j, k] = best_a
+    save_layers = [base_save]
+    assign_layers = [base_assign]
+    for _ in range(1, n_replicas):  # layer k corresponds to k+1 replicas
+        prev = save_layers[-1]
+        save_rows = [np.zeros(n_bots + 1, dtype=np.float64)]  # i = 0
+        assign_rows = [np.zeros(n_bots + 1, dtype=np.int64)]
+        for i in range(1, n_clients + 1):
+            save_row, assign_row = _dp_row(i, prev, n_bots)
+            save_rows.append(save_row)
+            assign_rows.append(assign_row)
+        save_layers.append(np.stack(save_rows))
+        assign_layers.append(np.stack(assign_rows))
     return DPTables(
-        save_no=save_no,
-        assign_no=assign_no,
+        save_no=np.stack(save_layers, axis=2),
+        assign_no=np.stack(assign_layers, axis=2),
         n_clients=n_clients,
         n_bots=n_bots,
         n_replicas=n_replicas,
@@ -126,7 +168,7 @@ def dp_value(n_clients: int, n_bots: int, n_replicas: int) -> float:
     return optimal_assign(n_clients, n_bots, n_replicas).value()
 
 
-def dp_plan(n_clients: int, n_bots: int, n_replicas: int) -> ShufflePlan:
+def _dp_plan(n_clients: int, n_bots: int, n_replicas: int) -> ShufflePlan:
     """Extract a static plan from the Algorithm 1 tables.
 
     The tables encode an adaptive policy (later sizes may depend on the
@@ -156,4 +198,24 @@ def dp_plan(n_clients: int, n_bots: int, n_replicas: int) -> ShufflePlan:
     value = expected_saved_sizes(sizes, n_clients, n_bots)
     return ShufflePlan.from_sizes(
         sizes, n_bots, expected_saved=value, algorithm="dp"
+    )
+
+
+def dp_plan(n_clients: int, n_bots: int, n_replicas: int) -> ShufflePlan:
+    """Deprecated: use :func:`repro.core.api.plan` with ``method="dp"``."""
+    warnings.warn(
+        "repro.core.dp_plan() is deprecated; use "
+        "repro.core.api.plan(PlanRequest(..., method='dp'))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from .api import PlanRequest, plan
+
+    return plan(
+        PlanRequest(
+            n_clients=n_clients,
+            n_bots=n_bots,
+            n_replicas=n_replicas,
+            method="dp",
+        )
     )

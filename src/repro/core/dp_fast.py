@@ -25,16 +25,24 @@ every small instance.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
 
 from .combinatorics import expected_saved_single_many
 from .objective import expected_saved_sizes
 from .plan import ShufflePlan
 
 __all__ = ["dp_fast_value", "dp_fast_plan", "dp_fast_sizes"]
+
+#: Elements materialized per (max,+) block — sized so the candidate
+#: buffer (~0.5 MiB of float64) stays cache-resident: the argmax
+#: re-reads every element it just wrote, so a block that spills to DRAM
+#: pays the full matrix twice over the memory bus.
+_COMBINE_CHUNK = 65_536
 
 
 @dataclass
@@ -58,24 +66,53 @@ class _Node:
 
 
 def _combine(u: _Node, v: _Node) -> _Node:
-    """(max, +) convolution of two value vectors, tracking argmaxes."""
+    """(max, +) convolution of two value vectors, tracking argmaxes.
+
+    The candidate matrix ``candidates[n, a] = u[a] + v[n − a]`` is a
+    Toeplitz layout, expressed as a zero-copy sliding-window view over a
+    reversed copy of ``v`` padded with ``−inf`` (the pad marks
+    ``a > n``, which can never win because every real value is finite).
+    Row blocks are materialized :data:`_COMBINE_CHUNK` elements at a
+    time into one reused cache-resident buffer and reduced with a
+    batched ``argmax``, whose first-occurrence tie-break matches the
+    historical per-``n`` scan exactly.
+    """
     size = u.values.size
-    vals = np.empty(size, dtype=np.float64)
-    arg = np.empty(size, dtype=np.int64)
     uv = u.values
     vv = v.values
-    for n in range(size):
-        # candidates[a] = value when the left subtree gets `a` clients.
-        candidates = uv[: n + 1] + vv[n::-1]
-        a = int(np.argmax(candidates))
-        vals[n] = candidates[a]
-        arg[n] = a
+    # Reverse v once so every window reads with a *forward* unit stride
+    # (a per-row reversed view would force negative-stride traffic in
+    # the hot add/argmax): with rv[i] = vv[size−1−i] padded by −inf,
+    # row n of the view below is prv[size−1−n : 2size−1−n], i.e.
+    # windows[n, a] = vv[n − a], −inf when a > n (never wins: every
+    # real value is finite).
+    prv = np.empty(2 * size - 1, dtype=np.float64)
+    prv[:size] = vv[::-1]
+    prv[size:] = -np.inf
+    windows = sliding_window_view(prv, size)[::-1]
+    rows = max(1, _COMBINE_CHUNK // size)
+    buf = np.empty((rows, size), dtype=np.float64)
+    val_blocks = []
+    arg_blocks = []
+    for start in range(0, size, rows):
+        stop = min(start + rows, size)
+        # block[n − start, a] = value when the left subtree gets `a`
+        # clients.  Columns past the block's largest `n` are all −inf,
+        # so truncating them drops only never-winning candidates and
+        # leaves the first-occurrence argmax order intact.
+        block = buf[: stop - start, :stop]
+        np.add(windows[start:stop, :stop], uv[None, :stop], out=block)
+        a = np.argmax(block, axis=1)
+        val_blocks.append(
+            np.take_along_axis(block, a[:, None], axis=1)[:, 0]
+        )
+        arg_blocks.append(a)
     return _Node(
-        values=vals,
+        values=np.concatenate(val_blocks),
         n_replicas=u.n_replicas + v.n_replicas,
         left=u,
         right=v,
-        arg=arg,
+        arg=np.concatenate(arg_blocks),
     )
 
 
@@ -131,12 +168,38 @@ def dp_fast_sizes(n_clients: int, n_bots: int, n_replicas: int) -> list[int]:
     return sizes
 
 
-def dp_fast_plan(n_clients: int, n_bots: int, n_replicas: int) -> ShufflePlan:
-    """Optimal static plan wrapped as a :class:`ShufflePlan`."""
+def _dp_fast_plan(
+    n_clients: int, n_bots: int, n_replicas: int
+) -> ShufflePlan:
+    """Optimal static plan wrapped as a :class:`ShufflePlan`.
+
+    Implementation behind ``method="dp_fast"`` of :func:`repro.core.api.
+    plan`.
+    """
     sizes = dp_fast_sizes(n_clients, n_bots, n_replicas)
     value = expected_saved_sizes(sizes, n_clients, n_bots)
     return ShufflePlan.from_sizes(
         sizes, n_bots, expected_saved=value, algorithm="dp_fast"
+    )
+
+
+def dp_fast_plan(n_clients: int, n_bots: int, n_replicas: int) -> ShufflePlan:
+    """Deprecated: use :func:`repro.core.api.plan`, ``method="dp_fast"``."""
+    warnings.warn(
+        "repro.core.dp_fast_plan() is deprecated; use "
+        "repro.core.api.plan(PlanRequest(..., method='dp_fast'))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from .api import PlanRequest, plan
+
+    return plan(
+        PlanRequest(
+            n_clients=n_clients,
+            n_bots=n_bots,
+            n_replicas=n_replicas,
+            method="dp_fast",
+        )
     )
 
 

@@ -9,6 +9,8 @@ no benign clients are saved.
 
 from __future__ import annotations
 
+import warnings
+
 from .objective import expected_saved_sizes
 from .plan import ShufflePlan
 
@@ -34,10 +36,33 @@ def even_sizes(n_clients: int, n_replicas: int) -> list[int]:
     return [base + 1] * extra + [base] * (n_replicas - extra)
 
 
-def even_plan(n_clients: int, n_bots: int, n_replicas: int) -> ShufflePlan:
-    """Build the even-split plan and score it with Equation 1."""
+def _even_plan(n_clients: int, n_bots: int, n_replicas: int) -> ShufflePlan:
+    """Build the even-split plan and score it with Equation 1.
+
+    Implementation behind ``method="even"`` of :func:`repro.core.api.plan`.
+    """
     sizes = even_sizes(n_clients, n_replicas)
     value = expected_saved_sizes(sizes, n_clients, n_bots)
     return ShufflePlan.from_sizes(
         sizes, n_bots, expected_saved=value, algorithm="even"
+    )
+
+
+def even_plan(n_clients: int, n_bots: int, n_replicas: int) -> ShufflePlan:
+    """Deprecated: use :func:`repro.core.api.plan` with ``method="even"``."""
+    warnings.warn(
+        "repro.core.even_plan() is deprecated; use "
+        "repro.core.api.plan(PlanRequest(..., method='even'))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from .api import PlanRequest, plan
+
+    return plan(
+        PlanRequest(
+            n_clients=n_clients,
+            n_bots=n_bots,
+            n_replicas=n_replicas,
+            method="even",
+        )
     )

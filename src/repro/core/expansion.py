@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from .even import even_plan
+from .even import _even_plan
 
 __all__ = [
     "expansion_saved_fraction",
@@ -39,7 +39,7 @@ def expansion_saved_fraction(
     """
     if n_clients <= n_bots:
         return 0.0
-    plan = even_plan(n_clients, n_bots, n_replicas)
+    plan = _even_plan(n_clients, n_bots, n_replicas)
     return plan.expected_saved / (n_clients - n_bots)
 
 

@@ -31,6 +31,8 @@ milliseconds even at ``N = 150,000``.
 
 from __future__ import annotations
 
+import warnings
+
 from .objective import expected_saved_sizes, single_replica_optimum
 from .plan import ShufflePlan
 
@@ -85,12 +87,15 @@ def greedy_sizes(n_clients: int, n_bots: int, n_replicas: int) -> list[int]:
     return sizes
 
 
-def greedy_plan(n_clients: int, n_bots: int, n_replicas: int) -> ShufflePlan:
+def _greedy_plan(
+    n_clients: int, n_bots: int, n_replicas: int
+) -> ShufflePlan:
     """Run the greedy planner and wrap the result in a :class:`ShufflePlan`.
 
-    The plan's ``expected_saved`` is Equation 1 evaluated with the planner's
-    belief ``n_bots`` against the *original* pool ``(N, M)`` — the quantity
-    plotted on the Y axis of the paper's Figures 3 and 4.
+    Implementation behind ``method="greedy"`` of :func:`repro.core.api.
+    plan`.  The plan's ``expected_saved`` is Equation 1 evaluated with the
+    planner's belief ``n_bots`` against the *original* pool ``(N, M)`` —
+    the quantity plotted on the Y axis of the paper's Figures 3 and 4.
 
     The ω-group construction can land a hair below a plain even split near
     the regime boundary (ω close to ``N/P``), so both candidates are scored
@@ -108,4 +113,24 @@ def greedy_plan(n_clients: int, n_bots: int, n_replicas: int) -> ShufflePlan:
         sizes, value = even, even_value
     return ShufflePlan.from_sizes(
         sizes, n_bots, expected_saved=value, algorithm="greedy"
+    )
+
+
+def greedy_plan(n_clients: int, n_bots: int, n_replicas: int) -> ShufflePlan:
+    """Deprecated: use :func:`repro.core.api.plan` with ``method="greedy"``."""
+    warnings.warn(
+        "repro.core.greedy_plan() is deprecated; use "
+        "repro.core.api.plan(PlanRequest(..., method='greedy'))",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from .api import PlanRequest, plan
+
+    return plan(
+        PlanRequest(
+            n_clients=n_clients,
+            n_bots=n_bots,
+            n_replicas=n_replicas,
+            method="greedy",
+        )
     )

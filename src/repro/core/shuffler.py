@@ -21,14 +21,9 @@ from typing import Callable, Iterator, Protocol
 import numpy as np
 
 from ..obs.instruments import Instruments, resolve_instruments
-from .estimator import (
-    BotEstimate,
-    estimate_bots_mle,
-    estimate_bots_moment,
-    estimate_bots_weighted,
-)
-from .even import even_plan
-from .greedy import greedy_plan
+from .api import EstimateRequest, estimate
+from .api import planner as _api_planner
+from .estimator import BotEstimate
 from .plan import ShufflePlan
 
 __all__ = [
@@ -56,18 +51,10 @@ class Planner(Protocol):
     ) -> ShufflePlan: ...
 
 
-def _dp_fast_planner(
-    n_clients: int, n_bots: int, n_replicas: int
-) -> ShufflePlan:
-    from .dp_fast import dp_fast_plan
-
-    return dp_fast_plan(n_clients, n_bots, n_replicas)
-
-
 PLANNERS: dict[str, Planner] = {
-    "greedy": greedy_plan,
-    "even": even_plan,
-    "dp_fast": _dp_fast_planner,
+    "greedy": _api_planner("greedy"),
+    "even": _api_planner("even"),
+    "dp_fast": _api_planner("dp_fast"),
 }
 
 ESTIMATORS = ("oracle", "mle", "moment", "weighted")
@@ -400,18 +387,25 @@ class ShuffleEngine:
             return None
         upper = int(sizes[attacked].sum())
         upper = max(upper, n_attacked)
-        if self.estimator == "mle":
-            estimate = estimate_bots_mle(n_attacked, sizes.size, upper)
-        elif self.estimator == "weighted":
+        if self.estimator == "weighted":
             # Likelihood computed against the *actual* (non-uniform)
-            # group sizes — see estimator.estimate_bots_weighted.
-            estimate = estimate_bots_weighted(
-                n_attacked, sizes, int(sizes.sum())
+            # group sizes — see estimator._estimate_weighted.
+            request = EstimateRequest(
+                n_attacked=n_attacked,
+                sizes=tuple(int(x) for x in sizes),
+                n_clients=int(sizes.sum()),
+                method="weighted",
             )
         else:
-            estimate = estimate_bots_moment(n_attacked, sizes.size, upper)
-        self._belief = estimate.m_hat
-        return estimate
+            request = EstimateRequest(
+                n_attacked=n_attacked,
+                n_replicas=int(sizes.size),
+                upper_bound=upper,
+                method=self.estimator,
+            )
+        result = estimate(request)
+        self._belief = result.m_hat
+        return result
 
 
 def shuffle_trajectory(

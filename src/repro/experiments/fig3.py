@@ -16,8 +16,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from ..core.api import PlanRequest, plan
 from ..core.dp_fast import dp_fast_value
-from ..core.greedy import greedy_plan
 from .tables import render_table
 
 __all__ = ["Fig3Row", "run_fig3", "FIG3_BOT_COUNTS", "FIG3_REPLICA_COUNTS"]
@@ -64,7 +64,14 @@ def run_fig3(
     rows = []
     for n_replicas in replica_counts:
         for n_bots in bot_counts:
-            greedy = greedy_plan(n_clients, n_bots, n_replicas)
+            greedy = plan(
+                PlanRequest(
+                    n_clients=n_clients,
+                    n_bots=n_bots,
+                    n_replicas=n_replicas,
+                    method="greedy",
+                )
+            )
             optimal = dp_fast_value(n_clients, n_bots, n_replicas)
             rows.append(
                 Fig3Row(

@@ -10,8 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..core.even import even_plan
-from ..core.greedy import greedy_plan
+from ..core.api import PlanRequest, plan
 from .tables import render_table
 
 __all__ = ["Fig4Row", "run_fig4", "render_fig4"]
@@ -52,8 +51,22 @@ def run_fig4(
     rows = []
     for n_replicas in replica_counts:
         for n_bots in bot_counts:
-            greedy = greedy_plan(n_clients, n_bots, n_replicas)
-            even = even_plan(n_clients, n_bots, n_replicas)
+            greedy = plan(
+                PlanRequest(
+                    n_clients=n_clients,
+                    n_bots=n_bots,
+                    n_replicas=n_replicas,
+                    method="greedy",
+                )
+            )
+            even = plan(
+                PlanRequest(
+                    n_clients=n_clients,
+                    n_bots=n_bots,
+                    n_replicas=n_replicas,
+                    method="even",
+                )
+            )
             rows.append(
                 Fig4Row(
                     n_replicas=n_replicas,

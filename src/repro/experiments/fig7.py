@@ -18,7 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from ..core.estimator import estimate_bots_mle
+from ..core.api import EstimateRequest, estimate
 from ..core.even import even_sizes
 from ..sim.stats import SampleSummary, summarize
 from .tables import render_table
@@ -81,8 +81,13 @@ def run_fig7(
             n_attacked, attacked_clients = _simulate_observation(
                 n_clients, real_bots, n_replicas, rng
             )
-            result = estimate_bots_mle(
-                n_attacked, n_replicas, max(attacked_clients, n_attacked)
+            result = estimate(
+                EstimateRequest(
+                    n_attacked=n_attacked,
+                    n_replicas=n_replicas,
+                    upper_bound=max(attacked_clients, n_attacked),
+                    method="mle",
+                )
             )
             estimates.append(result.m_hat)
             fractions.append(n_attacked / n_replicas)

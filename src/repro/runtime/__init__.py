@@ -36,6 +36,10 @@ from .grids import (
     scenario_tasks,
     sweep_records,
 )
+
+# Importing the plan store registers it as the core layer's durable
+# PlanCache backend (repro.core.plan_cache.make_plan_store).
+from .plan_store import ResultCachePlanStore
 from .task import (
     Task,
     canonical_json,
@@ -49,6 +53,7 @@ __all__ = [
     "CacheEntry",
     "GridError",
     "ResultCache",
+    "ResultCachePlanStore",
     "RetryPolicy",
     "RunReport",
     "Task",

@@ -1,0 +1,93 @@
+"""Durable plan-cache backing over the content-addressed ResultCache.
+
+Implements the :class:`repro.core.plan_cache.PlanStore` protocol: each
+precomputed plan cell is one :class:`~repro.runtime.cache.CacheEntry`
+addressed by a SHA-256 fingerprint over the cell key ``(N, M, P)`` plus
+the combined code version of the modules whose arithmetic determines
+the plan (``dp_fast``, ``combinatorics``, ``objective``).  Editing any
+of those modules silently changes every fingerprint, so a stale store
+degrades to a cold one — plans are recomputed and re-saved, never
+served wrong.
+
+The core layer never imports this module; it is registered as the
+plan-store factory when :mod:`repro.runtime` is imported (which
+``import repro`` does automatically).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from pathlib import Path
+from typing import Sequence
+
+from ..core.plan_cache import register_plan_store_factory
+from .cache import CacheEntry, ResultCache
+from .grids import _combined_code_version
+from .task import canonical_json
+
+__all__ = ["ResultCachePlanStore", "plan_cell_fingerprint"]
+
+#: Modules whose source determines a precomputed plan's content.
+_PLAN_CODE_MODULES = (
+    "repro.core.dp_fast",
+    "repro.core.combinatorics",
+    "repro.core.objective",
+)
+
+_FUNCTION_REF = "repro.core.plan_cache:PlanCache.precompute"
+
+
+def plan_cell_fingerprint(
+    n_clients: int, n_bots: int, n_replicas: int
+) -> str:
+    """Content address of one plan cell (key + planner code version)."""
+    payload = canonical_json(
+        {
+            "function": _FUNCTION_REF,
+            "key": [int(n_clients), int(n_bots), int(n_replicas)],
+            "code_version": _combined_code_version(_PLAN_CODE_MODULES),
+        }
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ResultCachePlanStore:
+    """:class:`PlanStore` over the runtime's atomic on-disk cache."""
+
+    def __init__(self, root: Path | str) -> None:
+        self.cache = ResultCache(root)
+
+    def load(
+        self, n_clients: int, n_bots: int, n_replicas: int
+    ) -> tuple[int, ...] | None:
+        entry = self.cache.get(
+            plan_cell_fingerprint(n_clients, n_bots, n_replicas)
+        )
+        if entry is None or not isinstance(entry.value, list):
+            return None
+        try:
+            return tuple(int(size) for size in entry.value)
+        except (TypeError, ValueError):
+            return None
+
+    def save(
+        self,
+        n_clients: int,
+        n_bots: int,
+        n_replicas: int,
+        sizes: Sequence[int],
+    ) -> None:
+        fingerprint = plan_cell_fingerprint(n_clients, n_bots, n_replicas)
+        self.cache.put(
+            CacheEntry(
+                fingerprint=fingerprint,
+                value=[int(size) for size in sizes],
+                key=f"plan:{n_clients},{n_bots},{n_replicas}",
+                function=_FUNCTION_REF,
+            )
+        )
+
+
+register_plan_store_factory(
+    lambda root: ResultCachePlanStore(root)
+)

@@ -14,11 +14,11 @@ command-and-control channel, assumed unattackable)::
     S -> C:  ASSIGN <client_id> <host>:<port> <replica_id>
 
 Per sweep the coordinator polls the pool for saturated replicas; the
-count ``X`` feeds the attack-scale estimators of
-:mod:`repro.core.estimator`:
+count ``X`` feeds the attack-scale estimators through the unified
+:func:`repro.core.api.estimate` seam:
 
 - round 1 (near-uniform assignment): exact occupancy MLE;
-- later rounds: the Poisson-binomial :func:`estimate_bots_weighted` on
+- later rounds: the Poisson-binomial ``method="weighted"`` likelihood on
   the previous plan's group sizes — after a shuffle every persistent bot
   lives inside the reshuffled subset, so the subset's plan is the right
   occupancy model;
@@ -48,13 +48,12 @@ from typing import Callable, Sequence
 
 import numpy as np
 
-from ..core.estimator import (
-    BotEstimate,
-    estimate_bots_mle,
-    estimate_bots_weighted,
-)
+from ..core.api import EstimateRequest, PlanRequest
+from ..core.api import estimate as core_estimate
+from ..core.api import plan as core_plan
+from ..core.estimator import BotEstimate
 from ..core.plan import ShufflePlan
-from ..core.plan_cache import PlanCache
+from ..core.plan_cache import PlanCache, make_plan_store
 from ..obs.events import Event
 from ..obs.instruments import Instruments, resolve_instruments
 from ..trust import TrustConfig, TrustManager, bot_count_log_prior, make_backend
@@ -168,6 +167,14 @@ class ServiceCoordinator:
             n_replicas=config.n_replicas,
             client_grid=config.plan_client_grid,
             bot_grid=config.plan_bot_grid,
+            # The concrete store is the runtime layer's ResultCache,
+            # registered via the plan-store factory at `import repro`;
+            # the service stays below the runtime in the layer graph.
+            store=(
+                make_plan_store(config.plan_cache_dir)
+                if config.plan_cache_dir
+                else None
+            ),
         )
         self._rng = np.random.default_rng(config.seed)
         #: exception that killed the detection loop, if any (see
@@ -626,22 +633,30 @@ class ServiceCoordinator:
         if last is not None and set(attacked_ids) <= set(last.replica_ids):
             # Every bot rode the previous shuffle, so the previous plan's
             # sizes are the occupancy model for this observation.
-            estimate = estimate_bots_weighted(
-                n_attacked=n_attacked,
-                sizes=last.plan.group_sizes,
-                n_clients=last.plan.n_clients,
-                log_prior=self._trust_prior(
-                    clients, last.plan.n_clients
+            estimate = core_estimate(
+                EstimateRequest(
+                    n_attacked=n_attacked,
+                    sizes=last.plan.group_sizes,
+                    n_clients=last.plan.n_clients,
+                    log_prior=self._trust_prior(
+                        clients, last.plan.n_clients
+                    ),
+                    method="weighted",
                 ),
+                instruments=self.instruments,
             )
             name = "weighted"
         else:
             upper = max(n_clients, n_attacked)
-            estimate = estimate_bots_mle(
-                n_attacked=n_attacked,
-                n_replicas=max(self.pool.n_active, 1),
-                upper_bound=upper,
-                log_prior=self._trust_prior(clients, upper),
+            estimate = core_estimate(
+                EstimateRequest(
+                    n_attacked=n_attacked,
+                    n_replicas=max(self.pool.n_active, 1),
+                    upper_bound=upper,
+                    log_prior=self._trust_prior(clients, upper),
+                    method="mle",
+                ),
+                instruments=self.instruments,
             )
             name = "mle"
         m_hat = self._resolve(estimate)
@@ -778,7 +793,16 @@ class ServiceCoordinator:
         with (
             spans.span("plan") if spans is not None else nullcontext()
         ) as span:
-            plan = self.plan_cache(n_clients, believed, width)
+            plan = core_plan(
+                PlanRequest(
+                    n_clients=n_clients,
+                    n_bots=believed,
+                    n_replicas=width,
+                    method="cached",
+                    cache=self.plan_cache,
+                ),
+                instruments=self.instruments,
+            )
             if span is not None:
                 span.set(
                     algorithm=plan.algorithm,
@@ -884,6 +908,7 @@ class ServiceCoordinator:
                 "cells": self.plan_cache.cells,
                 "hits": self.plan_cache.hits,
                 "fallbacks": self.plan_cache.fallbacks,
+                "store_hits": self.plan_cache.store_hits,
             },
             "replicas": self.pool.snapshot(),
             "shuffles": [record.to_dict() for record in self.shuffles],

@@ -38,9 +38,9 @@ class TestConstruction:
             ShuffleEngine(n_replicas=0)
 
     def test_callable_planner_accepted(self):
-        from repro.core.even import even_plan
+        from repro.core.api import planner
 
-        engine = ShuffleEngine(n_replicas=3, planner=even_plan)
+        engine = ShuffleEngine(n_replicas=3, planner=planner("even"))
         state = engine.run(benign=30, bots=0, target_fraction=1.0)
         assert state.saved_fraction == 1.0
 

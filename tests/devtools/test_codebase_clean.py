@@ -53,10 +53,9 @@ def test_src_repro_is_reprolint_clean():
 def test_src_repro_is_project_clean():
     """The whole-program passes (P1-P14) must hold on the tree.
 
-    P14 is a ratchet, not a clean gate — its scalar-loop inventory
-    lives in the committed ``.reprolint-p14-baseline.json`` — so the
-    clean assertion runs with P14 excused by that baseline while the
-    other thirteen passes get no baseline at all.
+    P14 graduated from ratchet to clean gate when the vectorized core
+    landed: the committed ``.reprolint-p14-baseline.json`` is empty, so
+    all fourteen passes must hold with nothing excused.
     """
     report = lint_project(
         [SRC], baseline_path=REPO_ROOT / ".reprolint-p14-baseline.json"
@@ -64,14 +63,15 @@ def test_src_repro_is_project_clean():
     assert report.files_checked > 50
     assert len(report.project_rules) == 14
     assert report.ok, "\n" + render_text(report)
-    assert all(v.rule_id == "P14" for v in report.baselined)
+    assert not report.baselined
 
 
 def test_numeric_passes_clean_without_baseline():
-    """P11-P13 hold over the whole tree with *no* baseline: every real
+    """P11-P14 hold over the whole tree with *no* baseline: every real
     numeric-domain finding was fixed or carries a reasoned
-    ``# domain:``/``disable=`` annotation at the site."""
-    report = lint_project([SRC], select=["P11", "P12", "P13"])
+    ``# domain:``/``disable=`` annotation at the site, and every hot
+    numeric loop in src/repro is vectorized."""
+    report = lint_project([SRC], select=["P11", "P12", "P13", "P14"])
     assert report.ok, "\n" + render_text(report)
 
 
@@ -85,13 +85,13 @@ def test_committed_baseline_holds_no_debt():
 
 
 def test_p14_baseline_is_exactly_the_current_inventory():
-    """The committed P14 ratchet matches the tree: every entry still
-    fires (no stale debt records) and every firing loop is recorded
-    (the inventory may only shrink via --write-baseline)."""
+    """The committed P14 baseline is empty and the tree really is
+    loop-free: the vectorization debt was burned to zero, and a
+    regression can neither hide behind the file nor linger in it."""
     baseline = REPO_ROOT / ".reprolint-p14-baseline.json"
     payload = json.loads(baseline.read_text(encoding="utf-8"))
     assert payload["version"] == 1
-    assert all(e["rule"] == "P14" for e in payload["entries"])
+    assert payload["entries"] == []
     report = lint_project(
         [SRC], select=["P14"], baseline_path=baseline
     )

@@ -59,7 +59,10 @@ class TestFig4:
 
 class TestFig5:
     def test_runtime_grows_polynomially(self):
-        rows = run_fig5(client_counts=(20, 30, 40, 50), replica_counts=(3,),
+        # N must be large enough that the vectorized per-row broadcast
+        # dominates fixed dispatch overhead, or the fitted exponent
+        # under-reads the asymptote.
+        rows = run_fig5(client_counts=(50, 100, 150), replica_counts=(3,),
                         bot_fraction=0.2)
         times = [row.seconds for row in rows]
         assert times == sorted(times)

@@ -1,0 +1,144 @@
+"""Durable plan store: persistence, invalidation, and the core wiring."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+import repro  # noqa: F401 — registers the plan-store factory
+from repro.core.plan_cache import PlanCache, make_plan_store
+from repro.runtime.plan_store import (
+    ResultCachePlanStore,
+    plan_cell_fingerprint,
+)
+
+
+class TestStoreRoundTrip:
+    def test_save_then_load(self, tmp_path):
+        store = ResultCachePlanStore(tmp_path)
+        store.save(100, 20, 5, (40, 30, 20, 10, 0))
+        assert store.load(100, 20, 5) == (40, 30, 20, 10, 0)
+
+    def test_miss_returns_none(self, tmp_path):
+        store = ResultCachePlanStore(tmp_path)
+        assert store.load(100, 20, 5) is None
+
+    def test_fingerprint_distinguishes_cells(self):
+        assert plan_cell_fingerprint(100, 20, 5) != plan_cell_fingerprint(
+            100, 20, 6
+        )
+        assert plan_cell_fingerprint(100, 20, 5) == plan_cell_fingerprint(
+            100, 20, 5
+        )
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        store = ResultCachePlanStore(tmp_path)
+        store.save(50, 10, 4, (20, 15, 10, 5))
+        fingerprint = plan_cell_fingerprint(50, 10, 4)
+        path = store.cache._path(fingerprint)
+        path.write_text("{torn", encoding="utf-8")
+        assert store.load(50, 10, 4) is None
+
+    def test_non_list_value_is_a_miss(self, tmp_path):
+        store = ResultCachePlanStore(tmp_path)
+        fingerprint = plan_cell_fingerprint(50, 10, 4)
+        path = store.cache._path(fingerprint)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps({"fingerprint": fingerprint, "value": "bogus"}),
+            encoding="utf-8",
+        )
+        assert store.load(50, 10, 4) is None
+
+
+class TestPlanCacheIntegration:
+    def test_warm_store_skips_recompute(self, tmp_path):
+        grid = dict(
+            n_replicas=4, client_grid=(30, 60), bot_grid=(4, 8)
+        )
+        cold = PlanCache(**grid, store=ResultCachePlanStore(tmp_path))
+        assert cold.precompute() == 4
+        assert cold.store_hits == 0
+
+        warm = PlanCache(**grid, store=ResultCachePlanStore(tmp_path))
+        assert warm.precompute() == 0
+        assert warm.store_hits == 4
+        for key, sizes in cold._plans.items():
+            assert tuple(int(s) for s in sizes) == warm._plans[key]
+
+    def test_warm_plans_serve_identically(self, tmp_path):
+        grid = dict(
+            n_replicas=5, client_grid=(40, 80), bot_grid=(5, 10)
+        )
+        cold = PlanCache(**grid, store=ResultCachePlanStore(tmp_path))
+        cold.precompute()
+        warm = PlanCache(**grid, store=ResultCachePlanStore(tmp_path))
+        warm.precompute()
+        for n_clients, n_bots in ((40, 5), (75, 9), (60, 7)):
+            assert (
+                cold.lookup(n_clients, n_bots).group_sizes
+                == warm.lookup(n_clients, n_bots).group_sizes
+            )
+
+    def test_invalid_stored_sizes_recomputed(self, tmp_path):
+        store = ResultCachePlanStore(tmp_path)
+        # Poison the cell with a plan whose sum is wrong.
+        store.save(30, 4, 4, (1, 1, 1, 1))
+        cache = PlanCache(
+            n_replicas=4, client_grid=(30,), bot_grid=(4,), store=store
+        )
+        assert cache.precompute() == 1
+        assert cache.store_hits == 0
+        assert sum(cache._plans[(30, 4)]) == 30
+
+    def test_store_optional(self):
+        cache = PlanCache(
+            n_replicas=4, client_grid=(30,), bot_grid=(4,)
+        )
+        assert cache.precompute() == 1
+        assert cache.store_hits == 0
+
+
+class TestFactoryRegistration:
+    def test_make_plan_store_builds_result_cache_store(self, tmp_path):
+        store = make_plan_store(str(tmp_path))
+        assert isinstance(store, ResultCachePlanStore)
+        store.save(10, 2, 3, (5, 3, 2))
+        assert make_plan_store(str(tmp_path)).load(10, 2, 3) == (5, 3, 2)
+
+    def test_unregistered_factory_raises(self, monkeypatch):
+        import repro.core.plan_cache as pc
+
+        monkeypatch.setattr(pc, "_STORE_FACTORY", None)
+        with pytest.raises(RuntimeError, match="no plan-store factory"):
+            pc.make_plan_store("/tmp/nowhere")
+
+
+class TestServiceWiring:
+    def test_coordinator_attaches_store(self, tmp_path):
+        from repro.service.config import ServiceConfig
+        from repro.service.coordinator import ServiceCoordinator
+
+        config = ServiceConfig(
+            n_replicas=4,
+            plan_client_grid=(30, 60),
+            plan_bot_grid=(4, 8),
+            plan_cache_dir=str(tmp_path / "plans"),
+        )
+        coordinator = ServiceCoordinator(config)
+        assert isinstance(
+            coordinator.plan_cache.store, ResultCachePlanStore
+        )
+        coordinator.plan_cache.precompute()
+        rebooted = ServiceCoordinator(config)
+        assert rebooted.plan_cache.precompute() == 0
+        # The snapshot counter surfaces warm-start effectiveness.
+        assert rebooted.plan_cache.store_hits == 4
+
+    def test_no_dir_no_store(self):
+        from repro.service.config import ServiceConfig
+        from repro.service.coordinator import ServiceCoordinator
+
+        coordinator = ServiceCoordinator(ServiceConfig(n_replicas=4))
+        assert coordinator.plan_cache.store is None
